@@ -1,0 +1,248 @@
+// Package main holds the repository-level benchmark harness: one
+// testing.B benchmark per table and figure of the paper's evaluation,
+// plus ablation benches for the design choices called out in DESIGN.md.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Benchmarks execute the same experiment runners as cmd/syncbench at test
+// scale (one full experiment per iteration) so -bench both regenerates the
+// paper's rows and measures the harness cost.
+package main
+
+import (
+	"testing"
+
+	"crdtsync/internal/core"
+	"crdtsync/internal/crdt"
+	"crdtsync/internal/exp"
+	"crdtsync/internal/lattice"
+	"crdtsync/internal/netsim"
+	"crdtsync/internal/protocol"
+	"crdtsync/internal/retwis"
+	"crdtsync/internal/topology"
+	"crdtsync/internal/workload"
+)
+
+// benchCfg is the per-iteration experiment scale. Table/figure shapes are
+// asserted at this scale by the exp package tests; benchmarks reuse it so
+// one iteration stays in the tens of milliseconds.
+func benchCfg() exp.Config { return exp.TestConfig() }
+
+// --- one benchmark per table/figure ---
+
+func BenchmarkFig1(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		exp.Fig1(cfg)
+	}
+}
+
+func BenchmarkFig7(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		exp.Fig7(cfg)
+	}
+}
+
+func BenchmarkFig8(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		exp.Fig8(cfg)
+	}
+}
+
+func BenchmarkFig9(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		exp.Fig9(cfg)
+	}
+}
+
+func BenchmarkFig10(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		exp.Fig10(cfg)
+	}
+}
+
+func BenchmarkFig11(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		exp.Fig11From(exp.RetwisSweep(cfg))
+	}
+}
+
+func BenchmarkFig12(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		exp.Fig12From(exp.RetwisSweep(cfg))
+	}
+}
+
+func BenchmarkTableII(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		exp.TableII(cfg)
+	}
+}
+
+// --- per-protocol micro benches: one GSet mesh run each ---
+
+func benchProtocol(b *testing.B, f protocol.Factory) {
+	b.Helper()
+	topo := topology.PartialMesh(15, 4, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim := netsim.New(topo, f, workload.GSetType{}, netsim.Options{Seed: 1})
+		sim.Run(30, workload.GSetGen{})
+		sim.RunQuiet(50)
+	}
+}
+
+func BenchmarkProtocolStateBased(b *testing.B)    { benchProtocol(b, protocol.NewStateBased()) }
+func BenchmarkProtocolDeltaClassic(b *testing.B)  { benchProtocol(b, protocol.NewDeltaClassic()) }
+func BenchmarkProtocolDeltaBPRR(b *testing.B)     { benchProtocol(b, protocol.NewDeltaBPRR()) }
+func BenchmarkProtocolScuttlebutt(b *testing.B)   { benchProtocol(b, protocol.NewScuttlebutt()) }
+func BenchmarkProtocolScuttlebuttGC(b *testing.B) { benchProtocol(b, protocol.NewScuttlebuttGC()) }
+func BenchmarkProtocolOpBased(b *testing.B)       { benchProtocol(b, protocol.NewOpBased()) }
+
+// --- ablations (DESIGN.md §6) ---
+
+// BenchmarkAblationBPRR compares the four delta-based variants on the same
+// workload: the BP/RR matrix of Algorithm 1.
+func BenchmarkAblationBPRR(b *testing.B) {
+	for _, v := range []struct {
+		name   string
+		bp, rr bool
+	}{
+		{"classic", false, false},
+		{"bp", true, false},
+		{"rr", false, true},
+		{"bp+rr", true, true},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			benchProtocol(b, protocol.NewDeltaBased(v.bp, v.rr))
+		})
+	}
+}
+
+// BenchmarkAckedVsClear compares the paper's two δ-buffer disciplines:
+// clear-after-send (Algorithm 1's lossless-channel simplification) vs
+// sequence numbers + acknowledgments (the lossy-channel variant).
+func BenchmarkAckedVsClear(b *testing.B) {
+	b.Run("clear", func(b *testing.B) { benchProtocol(b, protocol.NewDeltaBPRR()) })
+	b.Run("acked", func(b *testing.B) { benchProtocol(b, protocol.NewDeltaAcked(true, true)) })
+}
+
+// BenchmarkDeltaVsInflate compares RR's Δ-extraction against the classic
+// inflation check on a receive-heavy path: the cost the paper's Figure 12
+// attributes to processing larger δ-groups.
+func BenchmarkDeltaVsInflate(b *testing.B) {
+	local := crdt.NewGSet()
+	incoming := crdt.NewGSet()
+	for i := 0; i < 1000; i++ {
+		local.Add(workload.GSetGen{}.Ops(i, "n00", 0, 1)[0].Elem)
+		if i%10 == 0 {
+			incoming.Add(workload.GSetGen{}.Ops(i, "n01", 1, 2)[0].Elem)
+		}
+	}
+	// incoming shares 90% of local via a join.
+	mixed := incoming.Join(local).(*crdt.GSet)
+
+	b.Run("inflate-check", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			lattice.StrictlyInflates(mixed, local)
+		}
+	})
+	b.Run("delta-extract", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.Delta(mixed, local)
+		}
+	})
+}
+
+// BenchmarkDecompose measures decomposition allocation across state shapes.
+func BenchmarkDecompose(b *testing.B) {
+	set := crdt.NewGSet()
+	for i := 0; i < 1000; i++ {
+		set.Add(workload.GSetGen{}.Ops(i, "n00", 0, 1)[0].Elem)
+	}
+	counter := crdt.NewGCounter()
+	for i := 0; i < 64; i++ {
+		counter.Inc(topology.NodeIDs(64)[i], uint64(i+1))
+	}
+	m := crdt.NewGMap()
+	for i := 0; i < 1000; i++ {
+		crdt.MapPut(m, workload.GMapGen{K: 100, TotalKeys: 1000}.Ops(0, "n", 0, 1)[0].Key, lattice.NewMaxInt(uint64(i+1)))
+	}
+	cases := []struct {
+		name string
+		s    lattice.State
+	}{{"gset-1000", set}, {"gcounter-64", counter}, {"gmap-1000", m}}
+	for _, c := range cases {
+		b.Run(c.name+"/slice", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				lattice.Decompose(c.s)
+			}
+		})
+		b.Run(c.name+"/iter", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				n := 0
+				c.s.Irreducibles(func(lattice.State) bool { n++; return true })
+			}
+		})
+	}
+}
+
+// BenchmarkBufferJoin compares joining the δ-buffer at send time (what
+// Algorithm 1 does per neighbor) for growing buffer sizes.
+func BenchmarkBufferJoin(b *testing.B) {
+	for _, n := range []int{4, 16, 64} {
+		b.Run(itoa(n), func(b *testing.B) {
+			var buf core.Buffer
+			for i := 0; i < n; i++ {
+				buf.Add(crdt.NewGSet(workload.GSetGen{}.Ops(i, "n00", 0, 1)[0].Elem), "o")
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf.GroupAll()
+			}
+		})
+	}
+}
+
+// BenchmarkRetwisContention isolates the classic-vs-BP+RR CPU gap at high
+// contention (the paper's Figure 12 at Zipf 1.5).
+func BenchmarkRetwisContention(b *testing.B) {
+	topo := topology.PartialMesh(10, 4, 1)
+	for _, v := range []struct {
+		name    string
+		factory protocol.Factory
+	}{
+		{"classic", protocol.NewPerObject(protocol.NewDeltaClassic(), retwis.ObjectDatatype)},
+		{"bp+rr", protocol.NewPerObject(protocol.NewDeltaBPRR(), retwis.ObjectDatatype)},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				gen := retwis.NewGen(300, 5, 1.5, 7)
+				sim := netsim.New(topo, v.factory, retwis.StoreType{}, netsim.Options{Seed: 7})
+				sim.Run(12, gen)
+				sim.RunQuiet(60)
+			}
+		})
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var digits []byte
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return string(digits)
+}

@@ -1,0 +1,46 @@
+// Meshsync replays the paper's headline experiment (Figure 1): 15 replicas
+// of an always-growing set synchronizing over a partial mesh, comparing
+// every synchronization protocol's transmission and memory cost.
+//
+// Watch for the two results that motivated the paper:
+//   - classic delta-based transmits as much as state-based (its δ-groups
+//     snowball through the cyclic topology);
+//   - the BP+RR optimizations cut transmission by an order of magnitude.
+//
+// Run with: go run ./examples/meshsync
+package main
+
+import (
+	"fmt"
+
+	"crdtsync/internal/exp"
+	"crdtsync/internal/netsim"
+	"crdtsync/internal/topology"
+	"crdtsync/internal/workload"
+)
+
+func main() {
+	const nodes, degree, rounds = 15, 4, 100
+	mesh := topology.PartialMesh(nodes, degree, 1)
+	fmt.Printf("topology: %d-node partial mesh, %d neighbors each, cycles=%t\n\n",
+		nodes, degree, !mesh.IsAcyclic())
+	fmt.Printf("%-15s %10s %12s %12s %10s %12s\n",
+		"protocol", "messages", "elements", "payload B", "meta %", "avg mem B")
+
+	for _, p := range exp.Roster() {
+		sim := netsim.New(mesh, p.Factory, workload.GSetType{}, netsim.Options{Seed: 1})
+		sim.Run(rounds, workload.GSetGen{})
+		if _, ok := sim.RunQuiet(100); !ok {
+			fmt.Printf("%-15s did not converge!\n", p.Name)
+			continue
+		}
+		col := sim.Collector()
+		sent := col.TotalSent()
+		metaPct := 100 * float64(sent.MetadataBytes) / float64(sent.TotalBytes())
+		fmt.Printf("%-15s %10d %12d %12d %9.1f%% %12.0f\n",
+			p.Name, sent.Messages, sent.Elements, sent.PayloadBytes, metaPct, col.AvgMemoryPerNode())
+	}
+
+	fmt.Println("\nNote how delta-classic's elements rival state-based (the paper's")
+	fmt.Println("Figure 1 anomaly) while delta-bp+rr ships an order of magnitude less.")
+}

@@ -1,0 +1,62 @@
+// Partition demonstrates reconciling two replicas after a network
+// partition with the techniques of the paper's §VI (Enes et al.,
+// PMLDC@ECOOP 2016): state-driven (2 messages, ships a full state one way)
+// and digest-driven (3 messages, ships hashes of join-irreducibles first,
+// then only optimal deltas both ways).
+//
+// With a large shared history and small divergence — the common case after
+// a short partition — digest-driven ships orders of magnitude less state.
+//
+// Run with: go run ./examples/partition
+package main
+
+import (
+	"fmt"
+
+	"crdtsync/internal/crdt"
+	"crdtsync/internal/pairsync"
+)
+
+func main() {
+	// Two datacenter replicas share a long history of ~100 B events
+	// (digests always cost 8 B per irreducible, so their advantage
+	// grows with element size)...
+	payload := fmt.Sprintf("%080d", 0)
+	build := func() (*crdt.GSet, *crdt.GSet) {
+		a := crdt.NewGSet()
+		for i := 0; i < 10000; i++ {
+			a.Add(fmt.Sprintf("user-event-%06d-%s", i, payload))
+		}
+		b := a.Clone().(*crdt.GSet)
+		// ...then a partition: each side takes a few writes alone.
+		for i := 0; i < 25; i++ {
+			a.Add(fmt.Sprintf("dc-east-%03d", i))
+			b.Add(fmt.Sprintf("dc-west-%03d", i))
+		}
+		return a, b
+	}
+
+	a, b := build()
+	fmt.Printf("before: |A| = %d, |B| = %d, diverged by 50 elements\n\n", a.Len(), b.Len())
+
+	sd := pairsync.StateDriven(a, b)
+	fmt.Println("state-driven reconciliation:")
+	fmt.Printf("  messages: %d\n", sd.Messages)
+	fmt.Printf("  state bytes shipped:  %8d (A's full state + B's delta)\n", sd.StateBytes)
+	fmt.Printf("  converged: %t, |A| = |B| = %d\n\n", a.Equal(b), a.Len())
+
+	a2, b2 := build()
+	dd := pairsync.DigestDriven(a2, b2)
+	fmt.Println("digest-driven reconciliation:")
+	fmt.Printf("  messages: %d\n", dd.Messages)
+	fmt.Printf("  state bytes shipped:  %8d (only the 50 divergent elements)\n", dd.StateBytes)
+	fmt.Printf("  digest bytes shipped: %8d (8B per irreducible)\n", dd.DigestBytes)
+	fmt.Printf("  converged: %t, |A| = |B| = %d\n\n", a2.Equal(b2), a2.Len())
+
+	fmt.Printf("state-driven total:  %d B\n", sd.TotalBytes())
+	fmt.Printf("digest-driven total: %d B (%.1f%% of state-driven)\n",
+		dd.TotalBytes(), 100*float64(dd.TotalBytes())/float64(sd.TotalBytes()))
+	fmt.Println("\nDigests cost a flat 8 B per irreducible instead of the element")
+	fmt.Println("itself, so one extra round trip avoids shipping the shared history.")
+	fmt.Println("Both techniques build on the same join decompositions as BP+RR.")
+}

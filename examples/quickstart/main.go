@@ -1,0 +1,59 @@
+// Quickstart: the paper's core ideas in one file.
+//
+//  1. State-based CRDTs are join-semilattices; replicas converge by join.
+//  2. δ-mutators return small deltas instead of full states.
+//  3. Join decompositions split a state into irreducible atoms.
+//  4. Δ(a, b) is the optimal delta: the smallest state that carries
+//     everything a knows and b does not.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"crdtsync/internal/core"
+	"crdtsync/internal/crdt"
+	"crdtsync/internal/lattice"
+)
+
+func main() {
+	// Two replicas of a grow-only set diverge...
+	replicaA := crdt.NewGSet()
+	replicaB := crdt.NewGSet()
+	replicaA.Add("apple")
+	replicaA.Add("banana")
+	replicaB.Add("banana")
+	replicaB.Add("cherry")
+	fmt.Println("replica A:", replicaA)
+	fmt.Println("replica B:", replicaB)
+
+	// ...and converge by joining states in any order.
+	merged := replicaA.Join(replicaB)
+	fmt.Println("A ⊔ B:    ", merged)
+
+	// δ-mutators return only what changed: adding a present element
+	// yields ⊥ (the optimal addδ of Figure 2b).
+	fmt.Println("addδ(kiwi): ", replicaA.AddDelta("kiwi"))
+	fmt.Println("addδ(apple):", replicaA.AddDelta("apple"), "(already present → bottom)")
+
+	// Join decomposition: the set splits into irreducible singletons.
+	fmt.Println("⇓(A ⊔ B):", lattice.Decompose(merged))
+
+	// Optimal delta: exactly what A has that B lacks — the key to the
+	// RR optimization (remove redundant state in received δ-groups).
+	delta := core.Delta(replicaA, replicaB)
+	fmt.Println("Δ(A, B): ", delta)
+
+	// Joining the delta brings B fully up to date with A.
+	replicaB.Merge(delta)
+	fmt.Println("B ⊔ Δ:   ", replicaB)
+
+	// The same machinery works for any lattice, e.g. a grow-only counter.
+	counter := crdt.NewGCounter()
+	counter.Inc("server-1", 3)
+	counter.Inc("server-2", 5)
+	fmt.Println("\ncounter:      ", counter, "value:", counter.Value())
+	fmt.Println("⇓counter:     ", lattice.Decompose(counter))
+	fmt.Println("incδ(server-1):", counter.IncDelta("server-1", 1))
+}

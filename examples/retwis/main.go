@@ -1,0 +1,54 @@
+// Retwis runs the paper's macro-benchmark (§V-C) at demo scale: a Twitter
+// clone whose users' follower sets, walls and timelines are 3 CRDT objects
+// each, replicated across a partial mesh, under a contention knob (the
+// Zipf coefficient over users).
+//
+// At low contention the classic delta-based algorithm is nearly optimal;
+// as contention rises, only BP+RR keeps bandwidth and memory bounded.
+//
+// Run with: go run ./examples/retwis
+package main
+
+import (
+	"fmt"
+
+	"crdtsync/internal/netsim"
+	"crdtsync/internal/protocol"
+	"crdtsync/internal/retwis"
+	"crdtsync/internal/topology"
+)
+
+func main() {
+	const (
+		nodes       = 20
+		users       = 1000
+		opsPerRound = 8
+		rounds      = 30
+	)
+	mesh := topology.PartialMesh(nodes, 4, 1)
+	fmt.Printf("retwis: %d users on a %d-node mesh, %d user-actions/node/round\n",
+		users, nodes, opsPerRound)
+	fmt.Printf("%6s %-14s %14s %14s %12s\n", "zipf", "protocol", "tx bytes/node", "mem bytes/node", "converged")
+
+	for _, zipf := range []float64{0.5, 1.0, 1.5} {
+		for _, p := range []struct {
+			name    string
+			factory protocol.Factory
+		}{
+			{"delta-classic", protocol.NewPerObject(protocol.NewDeltaClassic(), retwis.ObjectDatatype)},
+			{"delta-bp+rr", protocol.NewPerObject(protocol.NewDeltaBPRR(), retwis.ObjectDatatype)},
+		} {
+			gen := retwis.NewGen(users, opsPerRound, zipf, 7)
+			sim := netsim.New(mesh, p.factory, retwis.StoreType{}, netsim.Options{Seed: 7})
+			sim.Run(rounds, gen)
+			_, converged := sim.RunQuiet(100)
+			col := sim.Collector()
+			tx := float64(col.TotalSent().TotalBytes()) / float64(nodes)
+			fmt.Printf("%6.2f %-14s %14.0f %14.0f %12t\n",
+				zipf, p.name, tx, col.AvgMemoryPerNode(), converged)
+		}
+	}
+	fmt.Println("\nAs the Zipf coefficient grows (hotter objects, more concurrent")
+	fmt.Println("updates between syncs), classic delta-based transmission blows up")
+	fmt.Println("while BP+RR stays bounded — the paper's Figure 11.")
+}

@@ -1,0 +1,408 @@
+// Package codec provides a compact, self-describing binary encoding for
+// the lattice states shipped by the synchronization protocols. It backs
+// the byte-level accounting of the evaluation with a real wire format and
+// lets the examples persist or transport states.
+//
+// The format is type-tagged: one tag byte, then a type-specific body using
+// unsigned varints for lengths and counters; map entries and set elements
+// are written in sorted order so encodings are canonical (equal states
+// encode to equal bytes). Nested states (map values) recurse. Unknown tags
+// fail decoding with an error, never a panic.
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"crdtsync/internal/crdt"
+	"crdtsync/internal/lattice"
+	"crdtsync/internal/vclock"
+)
+
+// Type tags. Stable on the wire: append, never renumber.
+const (
+	tagMaxInt byte = iota + 1
+	tagFlag
+	tagSet
+	tagMap
+	tagGCounter
+	tagPNCounter
+	tagGSet
+	tagTwoPSet
+	tagLWW
+	tagAWSet
+)
+
+// ErrUnknownTag reports an unrecognized type tag in the input.
+var ErrUnknownTag = errors.New("codec: unknown type tag")
+
+// ErrTruncated reports input that ended mid-value.
+var ErrTruncated = errors.New("codec: truncated input")
+
+// Encode serializes a state. It panics on state types without a wire
+// format (the generic combinators Pair/LexPair/Sum/Maximals, whose shape
+// is application-specific); all concrete CRDT types round-trip.
+func Encode(s lattice.State) []byte {
+	return appendState(nil, s)
+}
+
+// Decode deserializes one state, returning it and the number of bytes
+// consumed.
+func Decode(data []byte) (lattice.State, int, error) {
+	return readState(data)
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendStringList(b []byte, ss []string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(ss)))
+	for _, s := range ss {
+		b = appendString(b, s)
+	}
+	return b
+}
+
+func readUvarint(data []byte) (uint64, int, error) {
+	v, n := binary.Uvarint(data)
+	if n <= 0 {
+		return 0, 0, ErrTruncated
+	}
+	return v, n, nil
+}
+
+func readString(data []byte) (string, int, error) {
+	l, n, err := readUvarint(data)
+	if err != nil {
+		return "", 0, err
+	}
+	if uint64(len(data)-n) < l {
+		return "", 0, ErrTruncated
+	}
+	return string(data[n : n+int(l)]), n + int(l), nil
+}
+
+func readStringList(data []byte) ([]string, int, error) {
+	count, n, err := readUvarint(data)
+	if err != nil {
+		return nil, 0, err
+	}
+	out := make([]string, 0, count)
+	for i := uint64(0); i < count; i++ {
+		s, m, err := readString(data[n:])
+		if err != nil {
+			return nil, 0, err
+		}
+		out = append(out, s)
+		n += m
+	}
+	return out, n, nil
+}
+
+func appendState(b []byte, s lattice.State) []byte {
+	switch v := s.(type) {
+	case *lattice.MaxInt:
+		b = append(b, tagMaxInt)
+		return binary.AppendUvarint(b, v.V)
+
+	case *lattice.Flag:
+		b = append(b, tagFlag)
+		if v.V {
+			return append(b, 1)
+		}
+		return append(b, 0)
+
+	case *lattice.Set:
+		b = append(b, tagSet)
+		return appendStringList(b, v.Values())
+
+	case *lattice.Map:
+		b = append(b, tagMap)
+		keys := v.Keys()
+		b = binary.AppendUvarint(b, uint64(len(keys)))
+		for _, k := range keys {
+			b = appendString(b, k)
+			b = appendState(b, v.Get(k))
+		}
+		return b
+
+	case *crdt.GCounter:
+		b = append(b, tagGCounter)
+		type entry struct {
+			id string
+			v  uint64
+		}
+		var entries []entry
+		v.Range(func(id string, count uint64) bool {
+			entries = append(entries, entry{id, count})
+			return true
+		})
+		sort.Slice(entries, func(i, j int) bool { return entries[i].id < entries[j].id })
+		b = binary.AppendUvarint(b, uint64(len(entries)))
+		for _, e := range entries {
+			b = appendString(b, e.id)
+			b = binary.AppendUvarint(b, e.v)
+		}
+		return b
+
+	case *crdt.PNCounter:
+		b = append(b, tagPNCounter)
+		type entry struct {
+			id       string
+			inc, dec uint64
+		}
+		var entries []entry
+		v.Range(func(id string, inc, dec uint64) bool {
+			entries = append(entries, entry{id, inc, dec})
+			return true
+		})
+		sort.Slice(entries, func(i, j int) bool { return entries[i].id < entries[j].id })
+		b = binary.AppendUvarint(b, uint64(len(entries)))
+		for _, e := range entries {
+			b = appendString(b, e.id)
+			b = binary.AppendUvarint(b, e.inc)
+			b = binary.AppendUvarint(b, e.dec)
+		}
+		return b
+
+	case *crdt.GSet:
+		b = append(b, tagGSet)
+		return appendStringList(b, v.Values())
+
+	case *crdt.TwoPSet:
+		b = append(b, tagTwoPSet)
+		b = appendStringList(b, v.Added())
+		return appendStringList(b, v.Removed())
+
+	case *crdt.LWWRegister:
+		b = append(b, tagLWW)
+		b = binary.AppendUvarint(b, v.TS)
+		b = appendString(b, v.Writer)
+		return appendString(b, v.Val)
+
+	case *crdt.AWSet:
+		b = append(b, tagAWSet)
+		type atom struct {
+			elem string
+			dot  vclock.Dot
+		}
+		var atoms []atom
+		live := make(map[vclock.Dot]struct{})
+		v.RangeLive(func(elem string, d vclock.Dot) bool {
+			atoms = append(atoms, atom{elem, d})
+			live[d] = struct{}{}
+			return true
+		})
+		v.RangeContext(func(d vclock.Dot) bool {
+			if _, ok := live[d]; !ok {
+				atoms = append(atoms, atom{"", d})
+			}
+			return true
+		})
+		sort.Slice(atoms, func(i, j int) bool {
+			if atoms[i].dot.Actor != atoms[j].dot.Actor {
+				return atoms[i].dot.Actor < atoms[j].dot.Actor
+			}
+			if atoms[i].dot.Seq != atoms[j].dot.Seq {
+				return atoms[i].dot.Seq < atoms[j].dot.Seq
+			}
+			return atoms[i].elem < atoms[j].elem
+		})
+		b = binary.AppendUvarint(b, uint64(len(atoms)))
+		for _, a := range atoms {
+			b = appendString(b, a.elem)
+			b = appendString(b, a.dot.Actor)
+			b = binary.AppendUvarint(b, a.dot.Seq)
+		}
+		return b
+
+	default:
+		panic(fmt.Sprintf("codec: no wire format for %T", s))
+	}
+}
+
+func readState(data []byte) (lattice.State, int, error) {
+	if len(data) == 0 {
+		return nil, 0, ErrTruncated
+	}
+	tag, body := data[0], data[1:]
+	s, n, err := readBody(tag, body)
+	if err != nil {
+		return nil, 0, err
+	}
+	return s, n + 1, nil
+}
+
+func readBody(tag byte, data []byte) (lattice.State, int, error) {
+	switch tag {
+	case tagMaxInt:
+		v, n, err := readUvarint(data)
+		if err != nil {
+			return nil, 0, err
+		}
+		return lattice.NewMaxInt(v), n, nil
+
+	case tagFlag:
+		if len(data) < 1 {
+			return nil, 0, ErrTruncated
+		}
+		return lattice.NewFlag(data[0] == 1), 1, nil
+
+	case tagSet:
+		elems, n, err := readStringList(data)
+		if err != nil {
+			return nil, 0, err
+		}
+		return lattice.NewSet(elems...), n, nil
+
+	case tagMap:
+		count, n, err := readUvarint(data)
+		if err != nil {
+			return nil, 0, err
+		}
+		m := lattice.NewMap()
+		for i := uint64(0); i < count; i++ {
+			k, kn, err := readString(data[n:])
+			if err != nil {
+				return nil, 0, err
+			}
+			n += kn
+			v, vn, err := readState(data[n:])
+			if err != nil {
+				return nil, 0, err
+			}
+			n += vn
+			m.Set(k, v)
+		}
+		return m, n, nil
+
+	case tagGCounter:
+		count, n, err := readUvarint(data)
+		if err != nil {
+			return nil, 0, err
+		}
+		c := crdt.NewGCounter()
+		for i := uint64(0); i < count; i++ {
+			id, m, err := readString(data[n:])
+			if err != nil {
+				return nil, 0, err
+			}
+			n += m
+			v, m2, err := readUvarint(data[n:])
+			if err != nil {
+				return nil, 0, err
+			}
+			n += m2
+			if v > 0 {
+				c.Inc(id, v)
+			}
+		}
+		return c, n, nil
+
+	case tagPNCounter:
+		count, n, err := readUvarint(data)
+		if err != nil {
+			return nil, 0, err
+		}
+		c := crdt.NewPNCounter()
+		for i := uint64(0); i < count; i++ {
+			id, m, err := readString(data[n:])
+			if err != nil {
+				return nil, 0, err
+			}
+			n += m
+			inc, m2, err := readUvarint(data[n:])
+			if err != nil {
+				return nil, 0, err
+			}
+			n += m2
+			dec, m3, err := readUvarint(data[n:])
+			if err != nil {
+				return nil, 0, err
+			}
+			n += m3
+			if inc > 0 {
+				c.Inc(id, inc)
+			}
+			if dec > 0 {
+				c.Dec(id, dec)
+			}
+		}
+		return c, n, nil
+
+	case tagGSet:
+		elems, n, err := readStringList(data)
+		if err != nil {
+			return nil, 0, err
+		}
+		return crdt.NewGSet(elems...), n, nil
+
+	case tagTwoPSet:
+		added, n, err := readStringList(data)
+		if err != nil {
+			return nil, 0, err
+		}
+		removed, m, err := readStringList(data[n:])
+		if err != nil {
+			return nil, 0, err
+		}
+		s := crdt.NewTwoPSet()
+		for _, e := range added {
+			s.Add(e)
+		}
+		for _, e := range removed {
+			s.Remove(e)
+		}
+		return s, n + m, nil
+
+	case tagLWW:
+		ts, n, err := readUvarint(data)
+		if err != nil {
+			return nil, 0, err
+		}
+		w, m, err := readString(data[n:])
+		if err != nil {
+			return nil, 0, err
+		}
+		n += m
+		v, m2, err := readString(data[n:])
+		if err != nil {
+			return nil, 0, err
+		}
+		n += m2
+		return &crdt.LWWRegister{TS: ts, Writer: w, Val: v}, n, nil
+
+	case tagAWSet:
+		count, n, err := readUvarint(data)
+		if err != nil {
+			return nil, 0, err
+		}
+		s := crdt.NewAWSet()
+		for i := uint64(0); i < count; i++ {
+			elem, m, err := readString(data[n:])
+			if err != nil {
+				return nil, 0, err
+			}
+			n += m
+			actor, m2, err := readString(data[n:])
+			if err != nil {
+				return nil, 0, err
+			}
+			n += m2
+			seq, m3, err := readUvarint(data[n:])
+			if err != nil {
+				return nil, 0, err
+			}
+			n += m3
+			s.Merge(crdt.NewAWSetAtom(elem, vclock.Dot{Actor: actor, Seq: seq}))
+		}
+		return s, n, nil
+
+	default:
+		return nil, 0, fmt.Errorf("%w: %d", ErrUnknownTag, tag)
+	}
+}

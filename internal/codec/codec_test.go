@@ -1,0 +1,182 @@
+package codec_test
+
+import (
+	"bytes"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"crdtsync/internal/codec"
+	"crdtsync/internal/crdt"
+	"crdtsync/internal/lattice"
+)
+
+// roundTrip asserts Decode(Encode(s)) == s and full input consumption.
+func roundTrip(t *testing.T, s lattice.State) {
+	t.Helper()
+	data := codec.Encode(s)
+	got, n, err := codec.Decode(data)
+	if err != nil {
+		t.Fatalf("decode %v: %v", s, err)
+	}
+	if n != len(data) {
+		t.Fatalf("decode consumed %d of %d bytes", n, len(data))
+	}
+	if !got.Equal(s) {
+		t.Fatalf("round trip: got %v, want %v", got, s)
+	}
+}
+
+func TestRoundTripScalars(t *testing.T) {
+	roundTrip(t, lattice.NewMaxInt(0))
+	roundTrip(t, lattice.NewMaxInt(1<<40))
+	roundTrip(t, lattice.NewFlag(false))
+	roundTrip(t, lattice.NewFlag(true))
+}
+
+func TestRoundTripSets(t *testing.T) {
+	roundTrip(t, lattice.NewSet())
+	roundTrip(t, lattice.NewSet("a", "b", "long-element-name"))
+	roundTrip(t, crdt.NewGSet())
+	roundTrip(t, crdt.NewGSet("x", "y", "z"))
+}
+
+func TestRoundTripCounters(t *testing.T) {
+	c := crdt.NewGCounter()
+	roundTrip(t, c)
+	c.Inc("n01", 5)
+	c.Inc("n02", 1<<33)
+	roundTrip(t, c)
+
+	p := crdt.NewPNCounter()
+	p.Inc("a", 3)
+	p.Dec("a", 1)
+	p.Dec("b", 9)
+	roundTrip(t, p)
+}
+
+func TestRoundTripMapsNested(t *testing.T) {
+	m := lattice.NewMap()
+	m.Set("counter", lattice.NewMaxInt(4))
+	m.Set("set", lattice.NewSet("p", "q"))
+	inner := lattice.NewMap()
+	inner.Set("deep", lattice.NewFlag(true))
+	m.Set("nested", inner)
+	roundTrip(t, m)
+}
+
+func TestRoundTripTwoPSet(t *testing.T) {
+	s := crdt.NewTwoPSet()
+	s.Add("a")
+	s.Add("b")
+	s.Remove("a")
+	s.Remove("never-added")
+	roundTrip(t, s)
+}
+
+func TestRoundTripLWW(t *testing.T) {
+	roundTrip(t, crdt.NewLWWRegister())
+	r := crdt.NewLWWRegister()
+	r.Write(42, "writer-7", "payload with spaces")
+	roundTrip(t, r)
+}
+
+func TestRoundTripAWSet(t *testing.T) {
+	s := crdt.NewAWSet()
+	roundTrip(t, s)
+	s.Add("A", "x")
+	s.Add("B", "y")
+	roundTrip(t, s)
+	s.Remove("x") // context-only dot
+	roundTrip(t, s)
+	s.Add("A", "x") // re-add with fresh dot
+	roundTrip(t, s)
+}
+
+func TestRoundTripRandomAWSets(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		s := crdt.NewAWSet()
+		for j, n := 0, r.Intn(10); j < n; j++ {
+			e := "e" + strconv.Itoa(r.Intn(5))
+			if r.Intn(3) == 0 {
+				s.Remove(e)
+			} else {
+				s.Add("r"+strconv.Itoa(r.Intn(3)), e)
+			}
+		}
+		roundTrip(t, s)
+	}
+}
+
+func TestCanonicalEncoding(t *testing.T) {
+	// Equal states built differently encode to identical bytes.
+	a := crdt.NewGSet()
+	a.Add("p")
+	a.Add("q")
+	b := crdt.NewGSet()
+	b.Add("q")
+	b.Add("p")
+	if !bytes.Equal(codec.Encode(a), codec.Encode(b)) {
+		t.Error("insertion order leaked into the encoding")
+	}
+}
+
+func TestEncodedSizeTracksSizeBytes(t *testing.T) {
+	// The wire size should be within a small constant factor of the
+	// SizeBytes() accounting used by the experiments.
+	s := crdt.NewGSet()
+	for i := 0; i < 100; i++ {
+		s.Add("element-" + strconv.Itoa(i))
+	}
+	enc := len(codec.Encode(s))
+	acc := s.SizeBytes()
+	if enc < acc || enc > 2*acc {
+		t.Errorf("encoded %d bytes vs accounted %d: accounting is off", enc, acc)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := codec.Decode(nil); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, _, err := codec.Decode([]byte{250}); err == nil {
+		t.Error("unknown tag should fail")
+	}
+	// Truncated set: claims 3 elements, provides none.
+	data := codec.Encode(lattice.NewSet("abc"))
+	if _, _, err := codec.Decode(data[:2]); err == nil {
+		t.Error("truncated input should fail")
+	}
+}
+
+func TestEncodeUnsupportedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("encoding a Pair should panic (no wire format)")
+		}
+	}()
+	codec.Encode(lattice.NewPair(lattice.NewMaxInt(1), lattice.NewMaxInt(2)))
+}
+
+func TestDecodeStream(t *testing.T) {
+	// Multiple states back-to-back decode sequentially via the returned
+	// byte counts.
+	var buf []byte
+	buf = append(buf, codec.Encode(lattice.NewMaxInt(7))...)
+	buf = append(buf, codec.Encode(crdt.NewGSet("s"))...)
+	first, n, err := codec.Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, m, err := codec.Decode(buf[n:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n+m != len(buf) {
+		t.Error("stream not fully consumed")
+	}
+	if first.(*lattice.MaxInt).V != 7 || !second.(*crdt.GSet).Contains("s") {
+		t.Error("stream decoded wrong values")
+	}
+}

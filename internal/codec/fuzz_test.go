@@ -1,0 +1,73 @@
+package codec_test
+
+import (
+	"testing"
+
+	"crdtsync/internal/codec"
+	"crdtsync/internal/crdt"
+	"crdtsync/internal/lattice"
+	"crdtsync/internal/metrics"
+	"crdtsync/internal/protocol"
+)
+
+// FuzzDecodeState checks that arbitrary input never panics the state
+// decoder and that accepted inputs re-encode losslessly.
+func FuzzDecodeState(f *testing.F) {
+	f.Add(codec.Encode(lattice.NewMaxInt(7)))
+	f.Add(codec.Encode(crdt.NewGSet("a", "b")))
+	c := crdt.NewGCounter()
+	c.Inc("n00", 3)
+	f.Add(codec.Encode(c))
+	m := lattice.NewMap()
+	m.Set("k", lattice.NewSet("x"))
+	f.Add(codec.Encode(m))
+	aw := crdt.NewAWSet()
+	aw.Add("A", "e")
+	aw.Remove("e")
+	f.Add(codec.Encode(aw))
+	f.Add([]byte{0})
+	f.Add([]byte{255, 255, 255})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, n, err := codec.Decode(data)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		// Accepted input must re-encode to an equal state.
+		re := codec.Encode(s)
+		got, _, err := codec.Decode(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !got.Equal(s) {
+			t.Fatalf("re-encode changed the state: %v vs %v", got, s)
+		}
+		if n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+	})
+}
+
+// FuzzDecodeMsg checks the message decoder never panics.
+func FuzzDecodeMsg(f *testing.F) {
+	cost := metrics.Transmission{Messages: 1}
+	if d, err := codec.EncodeMsg(protocol.NewDeltaMsg(crdt.NewGSet("x"), cost)); err == nil {
+		f.Add(d)
+	}
+	if d, err := codec.EncodeMsg(protocol.NewAckMsg([]uint64{1, 2}, cost)); err == nil {
+		f.Add(d)
+	}
+	f.Add([]byte{64})
+	f.Add([]byte{70, 1, 2, 3})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, _, err := codec.DecodeMsg(data)
+		if err != nil {
+			return
+		}
+		// Accepted messages must re-encode.
+		if _, err := codec.EncodeMsg(m); err != nil {
+			t.Fatalf("decoded message failed to re-encode: %v", err)
+		}
+	})
+}

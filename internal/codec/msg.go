@@ -1,0 +1,378 @@
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"crdtsync/internal/metrics"
+	"crdtsync/internal/protocol"
+	"crdtsync/internal/vclock"
+)
+
+// Message tags. Stable on the wire: append, never renumber.
+const (
+	tagStateMsg byte = iota + 64
+	tagDeltaMsg
+	tagAckedDeltaMsg
+	tagAckMsg
+	tagSBDigestMsg
+	tagSBDeltasMsg
+	tagOpsMsg
+	tagBatchMsg
+)
+
+// EncodeMsg serializes a protocol message, including its transmission
+// accounting, so a receiving transport can reconstruct it exactly.
+func EncodeMsg(m protocol.Msg) ([]byte, error) {
+	var b []byte
+	return appendMsg(b, m)
+}
+
+// DecodeMsg deserializes one protocol message, returning the bytes
+// consumed.
+func DecodeMsg(data []byte) (protocol.Msg, int, error) {
+	if len(data) == 0 {
+		return nil, 0, ErrTruncated
+	}
+	m, n, err := readMsgBody(data[0], data[1:])
+	if err != nil {
+		return nil, 0, err
+	}
+	return m, n + 1, nil
+}
+
+func appendCost(b []byte, c metrics.Transmission) []byte {
+	b = binary.AppendUvarint(b, uint64(c.Messages))
+	b = binary.AppendUvarint(b, uint64(c.Elements))
+	b = binary.AppendUvarint(b, uint64(c.PayloadBytes))
+	return binary.AppendUvarint(b, uint64(c.MetadataBytes))
+}
+
+func readCost(data []byte) (metrics.Transmission, int, error) {
+	var c metrics.Transmission
+	n := 0
+	for _, dst := range []*int{&c.Messages, &c.Elements, &c.PayloadBytes, &c.MetadataBytes} {
+		v, m, err := readUvarint(data[n:])
+		if err != nil {
+			return c, 0, err
+		}
+		*dst = int(v)
+		n += m
+	}
+	return c, n, nil
+}
+
+func appendVClock(b []byte, v *vclock.VClock) []byte {
+	actors := v.Actors()
+	b = binary.AppendUvarint(b, uint64(len(actors)))
+	for _, a := range actors {
+		b = appendString(b, a)
+		b = binary.AppendUvarint(b, v.Get(a))
+	}
+	return b
+}
+
+func readVClock(data []byte) (*vclock.VClock, int, error) {
+	count, n, err := readUvarint(data)
+	if err != nil {
+		return nil, 0, err
+	}
+	v := vclock.New()
+	for i := uint64(0); i < count; i++ {
+		a, m, err := readString(data[n:])
+		if err != nil {
+			return nil, 0, err
+		}
+		n += m
+		s, m2, err := readUvarint(data[n:])
+		if err != nil {
+			return nil, 0, err
+		}
+		n += m2
+		v.Set(a, s)
+	}
+	return v, n, nil
+}
+
+func appendDot(b []byte, d vclock.Dot) []byte {
+	b = appendString(b, d.Actor)
+	return binary.AppendUvarint(b, d.Seq)
+}
+
+func readDot(data []byte) (vclock.Dot, int, error) {
+	a, n, err := readString(data)
+	if err != nil {
+		return vclock.Dot{}, 0, err
+	}
+	s, m, err := readUvarint(data[n:])
+	if err != nil {
+		return vclock.Dot{}, 0, err
+	}
+	return vclock.Dot{Actor: a, Seq: s}, n + m, nil
+}
+
+func appendSeqs(b []byte, seqs []uint64) []byte {
+	b = binary.AppendUvarint(b, uint64(len(seqs)))
+	for _, s := range seqs {
+		b = binary.AppendUvarint(b, s)
+	}
+	return b
+}
+
+func readSeqs(data []byte) ([]uint64, int, error) {
+	count, n, err := readUvarint(data)
+	if err != nil {
+		return nil, 0, err
+	}
+	seqs := make([]uint64, 0, count)
+	for i := uint64(0); i < count; i++ {
+		s, m, err := readUvarint(data[n:])
+		if err != nil {
+			return nil, 0, err
+		}
+		seqs = append(seqs, s)
+		n += m
+	}
+	return seqs, n, nil
+}
+
+func appendMsg(b []byte, m protocol.Msg) ([]byte, error) {
+	switch v := m.(type) {
+	case *protocol.StateMsg:
+		b = append(b, tagStateMsg)
+		b = appendCost(b, v.Cost())
+		return appendState(b, v.State), nil
+
+	case *protocol.DeltaMsg:
+		b = append(b, tagDeltaMsg)
+		b = appendCost(b, v.Cost())
+		return appendState(b, v.Delta), nil
+
+	case *protocol.AckedDeltaMsg:
+		b = append(b, tagAckedDeltaMsg)
+		b = appendCost(b, v.Cost())
+		b = appendSeqs(b, v.Seqs)
+		return appendState(b, v.Delta), nil
+
+	case *protocol.AckMsg:
+		b = append(b, tagAckMsg)
+		b = appendCost(b, v.Cost())
+		return appendSeqs(b, v.Seqs), nil
+
+	case *protocol.SBDigestMsg:
+		b = append(b, tagSBDigestMsg)
+		b = appendCost(b, v.Cost())
+		b = appendVClock(b, v.Vec)
+		if v.Matrix == nil {
+			return append(b, 0), nil
+		}
+		b = append(b, 1)
+		// Deterministic order: sort the node keys.
+		keys := make([]string, 0, len(v.Matrix))
+		for k := range v.Matrix {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b = binary.AppendUvarint(b, uint64(len(keys)))
+		for _, k := range keys {
+			b = appendString(b, k)
+			b = appendVClock(b, v.Matrix[k])
+		}
+		return b, nil
+
+	case *protocol.SBDeltasMsg:
+		b = append(b, tagSBDeltasMsg)
+		b = appendCost(b, v.Cost())
+		b = binary.AppendUvarint(b, uint64(len(v.Items)))
+		for _, it := range v.Items {
+			b = appendDot(b, it.Dot)
+			b = appendState(b, it.Delta)
+		}
+		return b, nil
+
+	case *protocol.OpsMsg:
+		b = append(b, tagOpsMsg)
+		b = appendCost(b, v.Cost())
+		b = binary.AppendUvarint(b, uint64(len(v.Ops)))
+		for _, op := range v.Ops {
+			b = appendDot(b, op.Dot)
+			b = appendVClock(b, op.Dep)
+			b = binary.AppendUvarint(b, uint64(op.OpBytes))
+			b = appendState(b, op.Payload)
+		}
+		return b, nil
+
+	case *protocol.BatchMsg:
+		b = append(b, tagBatchMsg)
+		b = appendCost(b, v.Cost())
+		b = binary.AppendUvarint(b, uint64(len(v.Items)))
+		for _, it := range v.Items {
+			b = appendString(b, it.Key)
+			var err error
+			b, err = appendMsg(b, it.Inner)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return b, nil
+
+	default:
+		return nil, fmt.Errorf("codec: no wire format for message %T", m)
+	}
+}
+
+func readMsgBody(tag byte, data []byte) (protocol.Msg, int, error) {
+	cost, n, err := readCost(data)
+	if err != nil {
+		return nil, 0, err
+	}
+	switch tag {
+	case tagStateMsg:
+		s, m, err := readState(data[n:])
+		if err != nil {
+			return nil, 0, err
+		}
+		return protocol.NewStateMsg(s, cost), n + m, nil
+
+	case tagDeltaMsg:
+		s, m, err := readState(data[n:])
+		if err != nil {
+			return nil, 0, err
+		}
+		return protocol.NewDeltaMsg(s, cost), n + m, nil
+
+	case tagAckedDeltaMsg:
+		seqs, m, err := readSeqs(data[n:])
+		if err != nil {
+			return nil, 0, err
+		}
+		n += m
+		s, m2, err := readState(data[n:])
+		if err != nil {
+			return nil, 0, err
+		}
+		return protocol.NewAckedDeltaMsg(s, seqs, cost), n + m2, nil
+
+	case tagAckMsg:
+		seqs, m, err := readSeqs(data[n:])
+		if err != nil {
+			return nil, 0, err
+		}
+		return protocol.NewAckMsg(seqs, cost), n + m, nil
+
+	case tagSBDigestMsg:
+		vec, m, err := readVClock(data[n:])
+		if err != nil {
+			return nil, 0, err
+		}
+		n += m
+		if len(data) <= n {
+			return nil, 0, ErrTruncated
+		}
+		hasMatrix := data[n] == 1
+		n++
+		var matrix map[string]*vclock.VClock
+		if hasMatrix {
+			count, m2, err := readUvarint(data[n:])
+			if err != nil {
+				return nil, 0, err
+			}
+			n += m2
+			matrix = make(map[string]*vclock.VClock, count)
+			for i := uint64(0); i < count; i++ {
+				k, m3, err := readString(data[n:])
+				if err != nil {
+					return nil, 0, err
+				}
+				n += m3
+				v, m4, err := readVClock(data[n:])
+				if err != nil {
+					return nil, 0, err
+				}
+				n += m4
+				matrix[k] = v
+			}
+		}
+		return protocol.NewSBDigestMsg(vec, matrix, cost), n, nil
+
+	case tagSBDeltasMsg:
+		count, m, err := readUvarint(data[n:])
+		if err != nil {
+			return nil, 0, err
+		}
+		n += m
+		items := make([]protocol.SBItem, 0, count)
+		for i := uint64(0); i < count; i++ {
+			d, m2, err := readDot(data[n:])
+			if err != nil {
+				return nil, 0, err
+			}
+			n += m2
+			s, m3, err := readState(data[n:])
+			if err != nil {
+				return nil, 0, err
+			}
+			n += m3
+			items = append(items, protocol.SBItem{Dot: d, Delta: s})
+		}
+		return protocol.NewSBDeltasMsg(items, cost), n, nil
+
+	case tagOpsMsg:
+		count, m, err := readUvarint(data[n:])
+		if err != nil {
+			return nil, 0, err
+		}
+		n += m
+		ops := make([]protocol.TaggedOp, 0, count)
+		for i := uint64(0); i < count; i++ {
+			d, m2, err := readDot(data[n:])
+			if err != nil {
+				return nil, 0, err
+			}
+			n += m2
+			dep, m3, err := readVClock(data[n:])
+			if err != nil {
+				return nil, 0, err
+			}
+			n += m3
+			opBytes, m4, err := readUvarint(data[n:])
+			if err != nil {
+				return nil, 0, err
+			}
+			n += m4
+			payload, m5, err := readState(data[n:])
+			if err != nil {
+				return nil, 0, err
+			}
+			n += m5
+			ops = append(ops, protocol.TaggedOp{Dot: d, Dep: dep, Payload: payload, OpBytes: int(opBytes)})
+		}
+		return protocol.NewOpsMsg(ops, cost), n, nil
+
+	case tagBatchMsg:
+		count, m, err := readUvarint(data[n:])
+		if err != nil {
+			return nil, 0, err
+		}
+		n += m
+		items := make([]protocol.ObjectMsg, 0, count)
+		for i := uint64(0); i < count; i++ {
+			k, m2, err := readString(data[n:])
+			if err != nil {
+				return nil, 0, err
+			}
+			n += m2
+			inner, m3, err := DecodeMsg(data[n:])
+			if err != nil {
+				return nil, 0, err
+			}
+			n += m3
+			items = append(items, protocol.ObjectMsg{Key: k, Inner: inner})
+		}
+		return protocol.NewBatchMsg(items, cost), n, nil
+
+	default:
+		return nil, 0, fmt.Errorf("%w: %d", ErrUnknownTag, tag)
+	}
+}

@@ -1,0 +1,150 @@
+package codec_test
+
+import (
+	"testing"
+
+	"crdtsync/internal/codec"
+	"crdtsync/internal/crdt"
+	"crdtsync/internal/metrics"
+	"crdtsync/internal/protocol"
+	"crdtsync/internal/vclock"
+)
+
+func cost() metrics.Transmission {
+	return metrics.Transmission{Messages: 1, Elements: 3, PayloadBytes: 17, MetadataBytes: 9}
+}
+
+// msgRoundTrip encodes and decodes a message, checking cost preservation.
+func msgRoundTrip(t *testing.T, m protocol.Msg) protocol.Msg {
+	t.Helper()
+	data, err := codec.EncodeMsg(m)
+	if err != nil {
+		t.Fatalf("encode %T: %v", m, err)
+	}
+	got, n, err := codec.DecodeMsg(data)
+	if err != nil {
+		t.Fatalf("decode %T: %v", m, err)
+	}
+	if n != len(data) {
+		t.Fatalf("decode consumed %d of %d bytes", n, len(data))
+	}
+	if got.Kind() != m.Kind() {
+		t.Fatalf("kind = %q, want %q", got.Kind(), m.Kind())
+	}
+	if got.Cost() != m.Cost() {
+		t.Fatalf("cost = %+v, want %+v", got.Cost(), m.Cost())
+	}
+	return got
+}
+
+func TestStateMsgRoundTrip(t *testing.T) {
+	m := protocol.NewStateMsg(crdt.NewGSet("a", "b"), cost())
+	got := msgRoundTrip(t, m).(*protocol.StateMsg)
+	if !got.State.Equal(m.State) {
+		t.Error("state payload mismatch")
+	}
+}
+
+func TestDeltaMsgRoundTrip(t *testing.T) {
+	m := protocol.NewDeltaMsg(crdt.NewGSet("d"), cost())
+	got := msgRoundTrip(t, m).(*protocol.DeltaMsg)
+	if !got.Delta.Equal(m.Delta) {
+		t.Error("delta payload mismatch")
+	}
+}
+
+func TestAckedDeltaAndAckRoundTrip(t *testing.T) {
+	m := protocol.NewAckedDeltaMsg(crdt.NewGSet("x"), []uint64{3, 9, 12}, cost())
+	got := msgRoundTrip(t, m).(*protocol.AckedDeltaMsg)
+	if len(got.Seqs) != 3 || got.Seqs[2] != 12 {
+		t.Errorf("seqs = %v", got.Seqs)
+	}
+	a := protocol.NewAckMsg([]uint64{7}, cost())
+	gotAck := msgRoundTrip(t, a).(*protocol.AckMsg)
+	if len(gotAck.Seqs) != 1 || gotAck.Seqs[0] != 7 {
+		t.Errorf("ack seqs = %v", gotAck.Seqs)
+	}
+}
+
+func TestSBDigestRoundTrip(t *testing.T) {
+	vec := vclock.New()
+	vec.Set("n00", 4)
+	vec.Set("n01", 2)
+	// Plain digest (no matrix).
+	m := protocol.NewSBDigestMsg(vec, nil, cost())
+	got := msgRoundTrip(t, m).(*protocol.SBDigestMsg)
+	if !got.Vec.Equal(vec) || got.Matrix != nil {
+		t.Error("plain digest mismatch")
+	}
+	// GC digest with matrix.
+	other := vclock.New()
+	other.Set("n02", 8)
+	mg := protocol.NewSBDigestMsg(vec, map[string]*vclock.VClock{"n00": vec.Clone(), "n02": other}, cost())
+	gotGC := msgRoundTrip(t, mg).(*protocol.SBDigestMsg)
+	if len(gotGC.Matrix) != 2 || !gotGC.Matrix["n02"].Equal(other) {
+		t.Error("matrix mismatch")
+	}
+}
+
+func TestSBDeltasRoundTrip(t *testing.T) {
+	items := []protocol.SBItem{
+		{Dot: vclock.Dot{Actor: "n00", Seq: 1}, Delta: crdt.NewGSet("p")},
+		{Dot: vclock.Dot{Actor: "n01", Seq: 5}, Delta: crdt.NewGSet("q")},
+	}
+	m := protocol.NewSBDeltasMsg(items, cost())
+	got := msgRoundTrip(t, m).(*protocol.SBDeltasMsg)
+	if len(got.Items) != 2 || got.Items[1].Dot.Seq != 5 {
+		t.Errorf("items = %+v", got.Items)
+	}
+	if !got.Items[0].Delta.Equal(items[0].Delta) {
+		t.Error("item delta mismatch")
+	}
+}
+
+func TestOpsMsgRoundTrip(t *testing.T) {
+	dep := vclock.New()
+	dep.Set("n00", 2)
+	ops := []protocol.TaggedOp{{
+		Dot:     vclock.Dot{Actor: "n00", Seq: 3},
+		Dep:     dep,
+		Payload: crdt.NewGSet("op-elem"),
+		OpBytes: 7,
+	}}
+	m := protocol.NewOpsMsg(ops, cost())
+	got := msgRoundTrip(t, m).(*protocol.OpsMsg)
+	if len(got.Ops) != 1 {
+		t.Fatalf("ops = %d", len(got.Ops))
+	}
+	op := got.Ops[0]
+	if op.Dot != ops[0].Dot || op.OpBytes != 7 || !op.Dep.Equal(dep) || !op.Payload.Equal(ops[0].Payload) {
+		t.Errorf("op mismatch: %+v", op)
+	}
+}
+
+func TestBatchMsgRoundTrip(t *testing.T) {
+	items := []protocol.ObjectMsg{
+		{Key: "obj1", Inner: protocol.NewDeltaMsg(crdt.NewGSet("a"), cost())},
+		{Key: "obj2", Inner: protocol.NewStateMsg(crdt.NewGCounter(), cost())},
+	}
+	m := protocol.NewBatchMsg(items, cost())
+	got := msgRoundTrip(t, m).(*protocol.BatchMsg)
+	if len(got.Items) != 2 || got.Items[0].Key != "obj1" {
+		t.Fatalf("items = %+v", got.Items)
+	}
+	if got.Items[0].Inner.Kind() != "delta" || got.Items[1].Inner.Kind() != "state" {
+		t.Error("nested message kinds mismatch")
+	}
+}
+
+func TestDecodeMsgErrors(t *testing.T) {
+	if _, _, err := codec.DecodeMsg(nil); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, _, err := codec.DecodeMsg([]byte{200, 0, 0, 0, 0}); err == nil {
+		t.Error("unknown tag should fail")
+	}
+	data, _ := codec.EncodeMsg(protocol.NewDeltaMsg(crdt.NewGSet("abc"), cost()))
+	if _, _, err := codec.DecodeMsg(data[:3]); err == nil {
+		t.Error("truncated message should fail")
+	}
+}

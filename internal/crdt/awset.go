@@ -1,0 +1,316 @@
+package crdt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"crdtsync/internal/lattice"
+	"crdtsync/internal/vclock"
+)
+
+// AWSet is an add-wins observed-remove set, the "more complex CRDT" class
+// the paper's Appendix B extends join decompositions to. Unlike GSet it
+// supports removals: state is a causal pair ⟨dot store, causal context⟩
+// where the dot store maps elements to the dots (unique event ids) of
+// their surviving adds and the context records every dot ever observed.
+//
+// Join follows the delta-state causal CRDT rule (Almeida et al. 2018):
+//
+//	m''(e) = (m(e) ∩ m'(e)) ∪ (m(e) \ c') ∪ (m'(e) \ c),  c'' = c ∪ c'
+//
+// so an element survives iff some add dot is unseen by the other side's
+// context — concurrent add wins over remove.
+//
+// Decomposition: every live dot yields the atom ⟨{e ↦ {d}}, {d}⟩ and every
+// context-only (removed) dot yields ⟨∅, {d}⟩. On the sublattice of
+// well-formed states — each dot tags at most one element, an invariant of
+// the data type — these atoms are join-irreducible and the decomposition
+// is unique and irredundant, so Δ and the RR optimization apply unchanged.
+type AWSet struct {
+	entries map[string]map[vclock.Dot]struct{}
+	ctx     map[vclock.Dot]struct{}
+	// maxSeq caches the highest context sequence per actor, for dot
+	// generation.
+	maxSeq map[string]uint64
+}
+
+// NewAWSet returns an empty add-wins set.
+func NewAWSet() *AWSet {
+	return &AWSet{
+		entries: make(map[string]map[vclock.Dot]struct{}),
+		ctx:     make(map[vclock.Dot]struct{}),
+		maxSeq:  make(map[string]uint64),
+	}
+}
+
+// addDot records d in the context (and the per-actor max cache).
+func (s *AWSet) addDot(d vclock.Dot) {
+	s.ctx[d] = struct{}{}
+	if d.Seq > s.maxSeq[d.Actor] {
+		s.maxSeq[d.Actor] = d.Seq
+	}
+}
+
+// AddDelta is the δ-mutator for adding e at the given replica: it returns
+// ⟨{e ↦ {d}}, {d} ∪ m(e)⟩ where d is a fresh dot — the old dots of e ride
+// along in the context so the join supersedes earlier adds (and any
+// removes they had observed lose against this one). The receiver is not
+// mutated.
+func (s *AWSet) AddDelta(replica, e string) *AWSet {
+	d := vclock.Dot{Actor: replica, Seq: s.maxSeq[replica] + 1}
+	delta := NewAWSet()
+	delta.entries[e] = map[vclock.Dot]struct{}{d: {}}
+	delta.addDot(d)
+	for old := range s.entries[e] {
+		delta.addDot(old)
+	}
+	return delta
+}
+
+// RemoveDelta is the δ-mutator for removing e: it returns ⟨∅, m(e)⟩, the
+// observed add dots as bare context. Removing an absent element yields
+// bottom. The receiver is not mutated.
+func (s *AWSet) RemoveDelta(e string) *AWSet {
+	delta := NewAWSet()
+	for d := range s.entries[e] {
+		delta.addDot(d)
+	}
+	return delta
+}
+
+// Add applies AddDelta in place and returns the delta.
+func (s *AWSet) Add(replica, e string) *AWSet {
+	d := s.AddDelta(replica, e)
+	s.Merge(d)
+	return d
+}
+
+// Remove applies RemoveDelta in place and returns the delta.
+func (s *AWSet) Remove(e string) *AWSet {
+	d := s.RemoveDelta(e)
+	s.Merge(d)
+	return d
+}
+
+// Contains reports whether e is currently in the set.
+func (s *AWSet) Contains(e string) bool { return len(s.entries[e]) > 0 }
+
+// Values returns the current members in sorted order.
+func (s *AWSet) Values() []string {
+	out := make([]string, 0, len(s.entries))
+	for e := range s.entries {
+		out = append(out, e)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of current members.
+func (s *AWSet) Len() int { return len(s.entries) }
+
+// RangeLive calls fn for every (element, dot) pair in the dot store until
+// fn returns false. Iteration order is unspecified.
+func (s *AWSet) RangeLive(fn func(elem string, d vclock.Dot) bool) {
+	for e, dots := range s.entries {
+		for d := range dots {
+			if !fn(e, d) {
+				return
+			}
+		}
+	}
+}
+
+// RangeContext calls fn for every observed dot (live or removed) until fn
+// returns false. Iteration order is unspecified.
+func (s *AWSet) RangeContext(fn func(d vclock.Dot) bool) {
+	for d := range s.ctx {
+		if !fn(d) {
+			return
+		}
+	}
+}
+
+// NewAWSetAtom builds a single-dot state: a live entry ⟨{elem ↦ {d}}, {d}⟩
+// when elem is non-empty, or the bare-context tombstone ⟨∅, {d}⟩ otherwise.
+// Atoms are the unit of the wire format and of decompositions.
+func NewAWSetAtom(elem string, d vclock.Dot) *AWSet {
+	a := NewAWSet()
+	if elem != "" {
+		a.entries[elem] = map[vclock.Dot]struct{}{d: {}}
+	}
+	a.addDot(d)
+	return a
+}
+
+// Join returns the causal join of the two states.
+func (s *AWSet) Join(other lattice.State) lattice.State {
+	o := mustAWSet("Join", s, other)
+	j := s.Clone().(*AWSet)
+	j.Merge(o)
+	return j
+}
+
+// Merge joins other into the receiver in place.
+func (s *AWSet) Merge(other lattice.State) {
+	o := mustAWSet("Merge", s, other)
+	// Surviving dots of s: those also in o, or unseen by o's context.
+	for e, dots := range s.entries {
+		for d := range dots {
+			if _, inOther := o.entries[e][d]; inOther {
+				continue
+			}
+			if _, seen := o.ctx[d]; seen {
+				delete(dots, d)
+			}
+		}
+		if len(dots) == 0 {
+			delete(s.entries, e)
+		}
+	}
+	// Incoming dots of o: keep those unseen by s's context or already
+	// shared.
+	for e, dots := range o.entries {
+		for d := range dots {
+			_, seen := s.ctx[d]
+			if _, mine := s.entries[e][d]; mine || !seen {
+				if s.entries[e] == nil {
+					s.entries[e] = make(map[vclock.Dot]struct{})
+				}
+				s.entries[e][d] = struct{}{}
+			}
+		}
+	}
+	for d := range o.ctx {
+		s.addDot(d)
+	}
+}
+
+// Leq reports the causal order: s's context is contained in other's and
+// every surviving dot of other that s has observed is still live in s.
+func (s *AWSet) Leq(other lattice.State) bool {
+	o := mustAWSet("Leq", s, other)
+	for d := range s.ctx {
+		if _, ok := o.ctx[d]; !ok {
+			return false
+		}
+	}
+	for e, dots := range o.entries {
+		for d := range dots {
+			if _, observed := s.ctx[d]; !observed {
+				continue
+			}
+			if _, live := s.entries[e][d]; !live {
+				// s observed d and removed it, but other still has
+				// it live: s is not below other.
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsBottom reports whether nothing was ever observed.
+func (s *AWSet) IsBottom() bool { return len(s.ctx) == 0 }
+
+// Bottom returns a fresh empty add-wins set.
+func (s *AWSet) Bottom() lattice.State { return NewAWSet() }
+
+// Irreducibles yields one atom per live dot (⟨{e ↦ {d}}, {d}⟩) and one per
+// removed dot (⟨∅, {d}⟩).
+func (s *AWSet) Irreducibles(yield func(lattice.State) bool) {
+	live := make(map[vclock.Dot]struct{}, len(s.ctx))
+	for e, dots := range s.entries {
+		for d := range dots {
+			live[d] = struct{}{}
+			atom := NewAWSet()
+			atom.entries[e] = map[vclock.Dot]struct{}{d: {}}
+			atom.addDot(d)
+			if !yield(atom) {
+				return
+			}
+		}
+	}
+	for d := range s.ctx {
+		if _, ok := live[d]; ok {
+			continue
+		}
+		atom := NewAWSet()
+		atom.addDot(d)
+		if !yield(atom) {
+			return
+		}
+	}
+}
+
+// Equal reports structural equality of dot store and context.
+func (s *AWSet) Equal(other lattice.State) bool {
+	o, ok := other.(*AWSet)
+	if !ok || len(s.ctx) != len(o.ctx) || len(s.entries) != len(o.entries) {
+		return false
+	}
+	for d := range s.ctx {
+		if _, present := o.ctx[d]; !present {
+			return false
+		}
+	}
+	for e, dots := range s.entries {
+		od := o.entries[e]
+		if len(od) != len(dots) {
+			return false
+		}
+		for d := range dots {
+			if _, present := od[d]; !present {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy.
+func (s *AWSet) Clone() lattice.State {
+	c := NewAWSet()
+	for e, dots := range s.entries {
+		nd := make(map[vclock.Dot]struct{}, len(dots))
+		for d := range dots {
+			nd[d] = struct{}{}
+		}
+		c.entries[e] = nd
+	}
+	for d := range s.ctx {
+		c.ctx[d] = struct{}{}
+	}
+	for a, q := range s.maxSeq {
+		c.maxSeq[a] = q
+	}
+	return c
+}
+
+// Elements returns the number of observed dots (live and removed), the
+// granularity at which state is shipped.
+func (s *AWSet) Elements() int { return len(s.ctx) }
+
+// SizeBytes returns the wire size: element names plus one dot per live
+// entry, plus the context dots.
+func (s *AWSet) SizeBytes() int {
+	n := 0
+	for e, dots := range s.entries {
+		n += len(e) + len(dots)*12
+	}
+	n += len(s.ctx) * 12
+	return n
+}
+
+// String renders the current membership and context size.
+func (s *AWSet) String() string {
+	return fmt.Sprintf("AWSet{%s|ctx:%d}", strings.Join(s.Values(), ","), len(s.ctx))
+}
+
+func mustAWSet(op string, a, b lattice.State) *AWSet {
+	o, ok := b.(*AWSet)
+	if !ok {
+		panic(fmt.Sprintf("crdt: %s of mismatched types %T and %T", op, a, b))
+	}
+	return o
+}

@@ -1,0 +1,215 @@
+package crdt_test
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"crdtsync/internal/core"
+	"crdtsync/internal/crdt"
+	"crdtsync/internal/lattice"
+)
+
+func TestAWSetAddRemove(t *testing.T) {
+	s := crdt.NewAWSet()
+	s.Add("A", "x")
+	s.Add("A", "y")
+	if !s.Contains("x") || !s.Contains("y") || s.Len() != 2 {
+		t.Fatalf("membership after adds: %v", s)
+	}
+	s.Remove("x")
+	if s.Contains("x") {
+		t.Error("removed element still present")
+	}
+	// Unlike 2P-Set, re-adding works.
+	s.Add("A", "x")
+	if !s.Contains("x") {
+		t.Error("re-add after remove must succeed (observed-remove semantics)")
+	}
+}
+
+func TestAWSetRemoveAbsentIsBottom(t *testing.T) {
+	s := crdt.NewAWSet()
+	if d := s.RemoveDelta("ghost"); !d.IsBottom() {
+		t.Errorf("removing an absent element should be a no-op delta, got %v", d)
+	}
+}
+
+func TestAWSetAddWins(t *testing.T) {
+	// Replicas a and b share element x.
+	a := crdt.NewAWSet()
+	a.Add("A", "x")
+	b := a.Clone().(*crdt.AWSet)
+
+	// Concurrently: a re-adds x (fresh dot), b removes x.
+	a.Add("A", "x")
+	b.Remove("x")
+
+	ab := a.Join(b).(*crdt.AWSet)
+	ba := b.Join(a).(*crdt.AWSet)
+	if !ab.Equal(ba) {
+		t.Fatal("join not commutative")
+	}
+	if !ab.Contains("x") {
+		t.Error("concurrent add must win over remove")
+	}
+}
+
+func TestAWSetRemoveCoversObservedAdds(t *testing.T) {
+	a := crdt.NewAWSet()
+	a.Add("A", "x")
+	b := a.Clone().(*crdt.AWSet)
+	// b removes x having observed a's add; no concurrent re-add.
+	b.Remove("x")
+	j := a.Join(b).(*crdt.AWSet)
+	if j.Contains("x") {
+		t.Error("observed remove must delete the element")
+	}
+}
+
+func TestAWSetDeltaMutatorLaw(t *testing.T) {
+	s := crdt.NewAWSet()
+	s.Add("A", "x")
+	s.Add("B", "y")
+	// m(x) = x ⊔ mδ(x) for add.
+	full := s.Clone().(*crdt.AWSet)
+	d := s.AddDelta("A", "z")
+	full.Merge(d)
+	viaJoin := s.Join(d)
+	if !viaJoin.Equal(full) {
+		t.Error("add: x ⊔ addδ(x) diverged from direct application")
+	}
+	// And for remove.
+	full2 := s.Clone().(*crdt.AWSet)
+	rd := s.RemoveDelta("x")
+	full2.Merge(rd)
+	if full2.Contains("x") {
+		t.Error("remove delta did not remove")
+	}
+}
+
+func TestAWSetLatticeLaws(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	random := func() *crdt.AWSet {
+		s := crdt.NewAWSet()
+		for i, n := 0, r.Intn(6); i < n; i++ {
+			e := "e" + strconv.Itoa(r.Intn(4))
+			if r.Intn(3) == 0 {
+				s.Remove(e)
+			} else {
+				s.Add("r"+strconv.Itoa(r.Intn(3)), e)
+			}
+		}
+		return s
+	}
+	for i := 0; i < 300; i++ {
+		a, b, c := random(), random(), random()
+		if !a.Join(b).Equal(b.Join(a)) {
+			t.Fatalf("join not commutative: %v %v", a, b)
+		}
+		if !a.Join(a).Equal(a) {
+			t.Fatalf("join not idempotent: %v", a)
+		}
+		if !a.Join(b).Join(c).Equal(a.Join(b.Join(c))) {
+			t.Fatalf("join not associative")
+		}
+		j := a.Join(b)
+		if !a.Leq(j) || !b.Leq(j) {
+			t.Fatalf("join not an upper bound: %v %v → %v", a, b, j)
+		}
+		if got, want := a.Leq(b), a.Join(b).Equal(b); got != want {
+			t.Fatalf("Leq disagrees with join-test: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestAWSetMutatorsAreInflations(t *testing.T) {
+	s := crdt.NewAWSet()
+	for i := 0; i < 50; i++ {
+		before := s.Clone()
+		if i%3 == 0 {
+			s.Remove("e" + strconv.Itoa(i%5))
+		} else {
+			s.Add("A", "e"+strconv.Itoa(i%5))
+		}
+		if !before.Leq(s) {
+			t.Fatalf("mutation %d was not an inflation", i)
+		}
+	}
+}
+
+func TestAWSetDecomposition(t *testing.T) {
+	s := crdt.NewAWSet()
+	s.Add("A", "x")
+	s.Add("B", "y")
+	s.Remove("x")
+	d := lattice.Decompose(s)
+	// Dots: A:1 (x, removed → context-only), B:1 (y, live) → 2 atoms.
+	if len(d) != 2 {
+		t.Fatalf("decomposition size = %d, want 2 (%v)", len(d), d)
+	}
+	if !core.IsDecomposition(d, s) {
+		t.Error("atoms do not join back to the state")
+	}
+	if !core.IsIrredundant(d) {
+		t.Error("decomposition is redundant")
+	}
+}
+
+func TestAWSetOptimalDeltaRR(t *testing.T) {
+	// The RR code path: extract from a received state exactly what
+	// inflates the local state.
+	r := rand.New(rand.NewSource(9))
+	for i := 0; i < 200; i++ {
+		a, b := crdt.NewAWSet(), crdt.NewAWSet()
+		for j, n := 0, r.Intn(8); j < n; j++ {
+			e := "e" + strconv.Itoa(r.Intn(4))
+			switch r.Intn(3) {
+			case 0:
+				a.Add("A", e)
+			case 1:
+				b.Add("B", e)
+			default:
+				a.Remove(e)
+			}
+		}
+		// Simulate shared history: b learns some of a.
+		if r.Intn(2) == 0 {
+			b.Merge(a)
+			a.Add("A", "late")
+		}
+		d := core.Delta(a, b)
+		if !d.Join(b).Equal(a.Join(b)) {
+			t.Fatalf("Δ ⊔ b ≠ a ⊔ b for a=%v b=%v Δ=%v", a, b, d)
+		}
+		// Fully redundant transfers are dropped entirely.
+		if a.Leq(b) && !d.IsBottom() {
+			t.Fatalf("Δ should be ⊥ when a ⊑ b, got %v", d)
+		}
+	}
+}
+
+func TestAWSetClownIndependence(t *testing.T) {
+	s := crdt.NewAWSet()
+	s.Add("A", "x")
+	c := s.Clone().(*crdt.AWSet)
+	c.Add("B", "y")
+	if s.Contains("y") {
+		t.Error("mutating a clone affected the original")
+	}
+}
+
+func TestAWSetElementsMetric(t *testing.T) {
+	s := crdt.NewAWSet()
+	if s.Elements() != 0 {
+		t.Error("bottom should have 0 elements")
+	}
+	s.Add("A", "x")
+	s.Add("A", "y")
+	s.Remove("x")
+	// 3 dots observed: x's add (now context-only), y's add, and the
+	// re-add... Remove adds no dot, so 2 dots total.
+	if got := s.Elements(); got != 2 {
+		t.Errorf("Elements = %d, want 2", got)
+	}
+}

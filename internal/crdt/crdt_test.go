@@ -1,0 +1,342 @@
+package crdt_test
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+	"testing/quick"
+
+	"crdtsync/internal/core"
+	"crdtsync/internal/crdt"
+	"crdtsync/internal/lattice"
+)
+
+func TestGCounterValue(t *testing.T) {
+	c := crdt.NewGCounter()
+	c.Inc("A", 3)
+	c.Inc("B", 4)
+	c.Inc("A", 2)
+	if got := c.Value(); got != 9 {
+		t.Errorf("Value = %d, want 9", got)
+	}
+	if got := c.Entry("A"); got != 5 {
+		t.Errorf("Entry(A) = %d, want 5", got)
+	}
+}
+
+func TestGCounterIncDeltaSingleEntry(t *testing.T) {
+	c := crdt.NewGCounter()
+	c.Inc("A", 7)
+	d := c.IncDelta("A", 1)
+	if d.Elements() != 1 {
+		t.Fatalf("incδ returned %d entries, want 1", d.Elements())
+	}
+	if got := d.Entry("A"); got != 8 {
+		t.Errorf("incδ entry = %d, want 8", got)
+	}
+	// The δ-mutator law: m(x) = x ⊔ mδ(x).
+	full := c.Clone().(*crdt.GCounter)
+	full.Inc("A", 1)
+	if !c.Join(d).Equal(full) {
+		t.Error("inc(x) ≠ x ⊔ incδ(x)")
+	}
+}
+
+func TestGCounterIncZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("IncDelta(_, 0) should panic")
+		}
+	}()
+	crdt.NewGCounter().IncDelta("A", 0)
+}
+
+func TestGCounterJoinIsEntryMax(t *testing.T) {
+	a := crdt.NewGCounter()
+	a.Inc("A", 5)
+	a.Inc("B", 1)
+	b := crdt.NewGCounter()
+	b.Inc("A", 2)
+	b.Inc("B", 7)
+	j := a.Join(b).(*crdt.GCounter)
+	if j.Entry("A") != 5 || j.Entry("B") != 7 {
+		t.Errorf("join = %v", j)
+	}
+	// Join never loses increments observed by either side.
+	if j.Value() != 12 {
+		t.Errorf("joined value = %d, want 12", j.Value())
+	}
+}
+
+func TestPNCounterValue(t *testing.T) {
+	c := crdt.NewPNCounter()
+	c.Inc("A", 10)
+	c.Dec("A", 3)
+	c.Dec("B", 4)
+	if got := c.Value(); got != 3 {
+		t.Errorf("Value = %d, want 3", got)
+	}
+}
+
+func TestPNCounterDeltaLaw(t *testing.T) {
+	c := crdt.NewPNCounter()
+	c.Inc("A", 2)
+	d := c.DecDelta("A", 5)
+	full := c.Clone().(*crdt.PNCounter)
+	full.Dec("A", 5)
+	if !c.Join(d).Equal(full) {
+		t.Error("dec(x) ≠ x ⊔ decδ(x)")
+	}
+	if d.Elements() != 1 {
+		t.Errorf("decδ has %d elements, want 1", d.Elements())
+	}
+}
+
+func TestGSetAddDeltaOptimal(t *testing.T) {
+	s := crdt.NewGSet("a")
+	// Figure 2b: addδ returns ⊥ when the element is already present —
+	// the optimal δ-mutator (the original one in [13] always returned
+	// the singleton).
+	if d := s.AddDelta("a"); !d.IsBottom() {
+		t.Errorf("addδ(a) on {a} = %v, want ⊥", d)
+	}
+	if d := s.AddDelta("b"); d.Elements() != 1 || !d.Contains("b") {
+		t.Errorf("addδ(b) = %v, want {b}", d)
+	}
+}
+
+func TestGSetValues(t *testing.T) {
+	s := crdt.NewGSet()
+	s.Add("b")
+	s.Add("a")
+	if got := s.Values(); len(got) != 2 || got[0] != "a" {
+		t.Errorf("Values = %v", got)
+	}
+	if s.Len() != 2 || !s.Contains("a") {
+		t.Error("membership wrong")
+	}
+}
+
+func TestTwoPSetSemantics(t *testing.T) {
+	s := crdt.NewTwoPSet()
+	s.Add("a")
+	s.Add("b")
+	if !s.Contains("a") {
+		t.Error("a should be a member")
+	}
+	s.Remove("a")
+	if s.Contains("a") {
+		t.Error("removed element still a member")
+	}
+	// Re-add after remove has no effect (two-phase semantics).
+	s.Add("a")
+	if s.Contains("a") {
+		t.Error("2P-Set must not re-add a removed element")
+	}
+	if got := s.Values(); len(got) != 1 || got[0] != "b" {
+		t.Errorf("Values = %v, want [b]", got)
+	}
+}
+
+func TestTwoPSetRemoveWinsAcrossReplicas(t *testing.T) {
+	a := crdt.NewTwoPSet()
+	b := crdt.NewTwoPSet()
+	a.Add("x")
+	b.Remove("x") // concurrent remove at another replica
+	j := a.Join(b).(*crdt.TwoPSet)
+	if j.Contains("x") {
+		t.Error("concurrent remove should win")
+	}
+}
+
+func TestLWWRegisterSemantics(t *testing.T) {
+	r := crdt.NewLWWRegister()
+	r.Write(1, "A", "v1")
+	r.Write(3, "B", "v3")
+	if d := r.WriteDelta(2, "A", "v2"); !d.IsBottom() {
+		t.Errorf("stale write delta = %v, want ⊥", d)
+	}
+	if r.Value() != "v3" {
+		t.Errorf("Value = %q, want v3", r.Value())
+	}
+	// Timestamp ties break by writer id.
+	x := crdt.NewLWWRegister()
+	x.Write(5, "A", "va")
+	y := crdt.NewLWWRegister()
+	y.Write(5, "B", "vb")
+	j := x.Join(y).(*crdt.LWWRegister)
+	if j.Value() != "vb" {
+		t.Errorf("tie broken to %q, want vb (higher writer)", j.Value())
+	}
+	// Join is symmetric under the tie-break.
+	if jj := y.Join(x).(*crdt.LWWRegister); !jj.Equal(j) {
+		t.Error("LWW join not symmetric")
+	}
+}
+
+func TestLWWZeroTSPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WriteDelta(0, ...) should panic")
+		}
+	}()
+	crdt.NewLWWRegister().WriteDelta(0, "A", "v")
+}
+
+func TestGMapPutDelta(t *testing.T) {
+	m := crdt.NewGMap()
+	crdt.MapPut(m, "k", lattice.NewMaxInt(5))
+	// Re-putting an already-covered value yields a bottom-valued delta.
+	d := crdt.MapPutDelta(m, "k", lattice.NewMaxInt(3))
+	if !d.IsBottom() {
+		t.Errorf("covered put delta = %v, want ⊥", d)
+	}
+	d = crdt.MapPutDelta(m, "k", lattice.NewMaxInt(9))
+	if d.IsBottom() || d.Get("k").(*lattice.MaxInt).V != 9 {
+		t.Errorf("delta = %v, want {k↦9}", d)
+	}
+}
+
+func TestGMapApplyDelta(t *testing.T) {
+	m := crdt.NewGMap()
+	crdt.MapPut(m, "k", lattice.NewMaxInt(5))
+	d := crdt.MapApplyDelta(m, "k", lattice.NewMaxInt(5))
+	if !d.IsBottom() {
+		t.Errorf("redundant apply delta = %v, want ⊥", d)
+	}
+	if d := crdt.MapApplyDelta(m, "other", lattice.NewMaxInt(1)); d.IsBottom() {
+		t.Error("apply to fresh key should not be bottom")
+	}
+}
+
+// --- property-based tests (testing/quick) ---
+
+// randomGCounter builds a counter from quick-generated data.
+func randomGCounter(incs []uint8) *crdt.GCounter {
+	c := crdt.NewGCounter()
+	for i, n := range incs {
+		if n == 0 {
+			continue
+		}
+		c.Inc("r"+strconv.Itoa(i%5), uint64(n))
+	}
+	return c
+}
+
+func TestQuickGCounterMutatorsAreInflations(t *testing.T) {
+	f := func(incs []uint8, who uint8, n uint8) bool {
+		c := randomGCounter(incs)
+		before := c.Clone()
+		c.Inc("r"+strconv.Itoa(int(who%5)), uint64(n)+1)
+		return before.Leq(c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickGCounterValueIsSumOfMaxima(t *testing.T) {
+	f := func(incs []uint8) bool {
+		c := randomGCounter(incs)
+		var want uint64
+		for i := 0; i < 5; i++ {
+			want += c.Entry("r" + strconv.Itoa(i))
+		}
+		return c.Value() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickGSetDeltaLaw(t *testing.T) {
+	f := func(elems []uint8, add uint8) bool {
+		s := crdt.NewGSet()
+		for _, e := range elems {
+			s.Add("e" + strconv.Itoa(int(e%10)))
+		}
+		e := "e" + strconv.Itoa(int(add%12))
+		d := s.AddDelta(e)
+		full := s.Clone().(*crdt.GSet)
+		full.Add(e)
+		return s.Join(d).Equal(full)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickJoinConvergence(t *testing.T) {
+	// Any interleaving of joins converges to the same state.
+	f := func(seedA, seedB int64) bool {
+		ra := rand.New(rand.NewSource(seedA))
+		rb := rand.New(rand.NewSource(seedB))
+		a, b := crdt.NewGCounter(), crdt.NewGCounter()
+		for i := 0; i < 10; i++ {
+			a.Inc("r"+strconv.Itoa(ra.Intn(3)), uint64(ra.Intn(5)+1))
+			b.Inc("r"+strconv.Itoa(rb.Intn(3)), uint64(rb.Intn(5)+1))
+		}
+		ab := a.Join(b)
+		ba := b.Join(a)
+		return ab.Equal(ba) && a.Leq(ab) && b.Leq(ab)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDecompositionsAreIrredundant(t *testing.T) {
+	f := func(incs []uint8, decs []uint8) bool {
+		c := crdt.NewPNCounter()
+		for i, n := range incs {
+			if n > 0 {
+				c.Inc("r"+strconv.Itoa(i%4), uint64(n))
+			}
+		}
+		for i, n := range decs {
+			if n > 0 {
+				c.Dec("r"+strconv.Itoa(i%4), uint64(n))
+			}
+		}
+		if c.IsBottom() {
+			return true
+		}
+		return core.IsIrredundantDecomposition(lattice.Decompose(c), c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTwoPSetDecomposition(t *testing.T) {
+	f := func(adds, removes []uint8) bool {
+		s := crdt.NewTwoPSet()
+		for _, a := range adds {
+			s.Add("e" + strconv.Itoa(int(a%8)))
+		}
+		for _, r := range removes {
+			s.Remove("e" + strconv.Itoa(int(r%8)))
+		}
+		if s.IsBottom() {
+			return true
+		}
+		return core.IsIrredundantDecomposition(lattice.Decompose(s), s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickLWWIsChain(t *testing.T) {
+	f := func(ts1, ts2 uint8, w1, w2 uint8) bool {
+		a := crdt.NewLWWRegister()
+		a.Write(uint64(ts1)+1, "w"+strconv.Itoa(int(w1%4)), "va")
+		b := crdt.NewLWWRegister()
+		b.Write(uint64(ts2)+1, "w"+strconv.Itoa(int(w2%4)), "vb")
+		// Chains are totally ordered.
+		return a.Leq(b) || b.Leq(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,103 @@
+package crdt
+
+import (
+	"fmt"
+
+	"crdtsync/internal/lattice"
+)
+
+// ewToken is the single element an EWFlag stores in its underlying AWSet.
+const ewToken = "on"
+
+// EWFlag is an enable-wins flag: a boolean where a concurrent Enable beats
+// a concurrent Disable. It is the AWSet over a one-element universe — a
+// demonstration that the causal machinery (dot stores, contexts, and their
+// decompositions) composes into further data types for free.
+type EWFlag struct {
+	s *AWSet
+}
+
+// NewEWFlag returns a disabled (bottom) flag.
+func NewEWFlag() *EWFlag { return &EWFlag{s: NewAWSet()} }
+
+// EnableDelta is the δ-mutator for enabling at the given replica.
+func (f *EWFlag) EnableDelta(replica string) *EWFlag {
+	return &EWFlag{s: f.s.AddDelta(replica, ewToken)}
+}
+
+// DisableDelta is the δ-mutator for disabling: it tombstones the observed
+// enable dots; unseen concurrent enables survive the join (enable wins).
+func (f *EWFlag) DisableDelta() *EWFlag {
+	return &EWFlag{s: f.s.RemoveDelta(ewToken)}
+}
+
+// Enable applies EnableDelta in place and returns the delta.
+func (f *EWFlag) Enable(replica string) *EWFlag {
+	d := f.EnableDelta(replica)
+	f.Merge(d)
+	return d
+}
+
+// Disable applies DisableDelta in place and returns the delta.
+func (f *EWFlag) Disable() *EWFlag {
+	d := f.DisableDelta()
+	f.Merge(d)
+	return d
+}
+
+// Read returns the flag value.
+func (f *EWFlag) Read() bool { return f.s.Contains(ewToken) }
+
+// Join implements lattice.State.
+func (f *EWFlag) Join(other lattice.State) lattice.State {
+	return &EWFlag{s: f.s.Join(mustEWFlag("Join", f, other).s).(*AWSet)}
+}
+
+// Merge implements lattice.State.
+func (f *EWFlag) Merge(other lattice.State) {
+	f.s.Merge(mustEWFlag("Merge", f, other).s)
+}
+
+// Leq implements lattice.State.
+func (f *EWFlag) Leq(other lattice.State) bool {
+	return f.s.Leq(mustEWFlag("Leq", f, other).s)
+}
+
+// IsBottom implements lattice.State.
+func (f *EWFlag) IsBottom() bool { return f.s.IsBottom() }
+
+// Bottom implements lattice.State.
+func (f *EWFlag) Bottom() lattice.State { return NewEWFlag() }
+
+// Irreducibles implements lattice.State by lifting the AWSet atoms.
+func (f *EWFlag) Irreducibles(yield func(lattice.State) bool) {
+	f.s.Irreducibles(func(atom lattice.State) bool {
+		return yield(&EWFlag{s: atom.(*AWSet)})
+	})
+}
+
+// Equal implements lattice.State.
+func (f *EWFlag) Equal(other lattice.State) bool {
+	o, ok := other.(*EWFlag)
+	return ok && f.s.Equal(o.s)
+}
+
+// Clone implements lattice.State.
+func (f *EWFlag) Clone() lattice.State { return &EWFlag{s: f.s.Clone().(*AWSet)} }
+
+// Elements implements lattice.State.
+func (f *EWFlag) Elements() int { return f.s.Elements() }
+
+// SizeBytes implements lattice.State.
+func (f *EWFlag) SizeBytes() int { return f.s.SizeBytes() }
+
+// String renders the flag.
+func (f *EWFlag) String() string { return fmt.Sprintf("EWFlag{%t}", f.Read()) }
+
+func mustEWFlag(op string, a, b lattice.State) *EWFlag {
+	o, ok := b.(*EWFlag)
+	if !ok {
+		panic(fmt.Sprintf("crdt: %s of mismatched types %T and %T", op, a, b))
+	}
+	return o
+}

@@ -1,0 +1,84 @@
+package crdt_test
+
+import (
+	"testing"
+
+	"crdtsync/internal/core"
+	"crdtsync/internal/crdt"
+	"crdtsync/internal/lattice"
+)
+
+func TestEWFlagBasics(t *testing.T) {
+	f := crdt.NewEWFlag()
+	if f.Read() || !f.IsBottom() {
+		t.Fatal("new flag should be disabled and bottom")
+	}
+	f.Enable("A")
+	if !f.Read() {
+		t.Error("enable failed")
+	}
+	f.Disable()
+	if f.Read() {
+		t.Error("disable failed")
+	}
+	f.Enable("A")
+	if !f.Read() {
+		t.Error("re-enable failed")
+	}
+}
+
+func TestEWFlagEnableWins(t *testing.T) {
+	a := crdt.NewEWFlag()
+	a.Enable("A")
+	b := a.Clone().(*crdt.EWFlag)
+	// Concurrently: a re-enables, b disables.
+	a.Enable("A")
+	b.Disable()
+	j := a.Join(b).(*crdt.EWFlag)
+	if !j.Read() {
+		t.Error("concurrent enable must win")
+	}
+	// Symmetric join agrees.
+	if jj := b.Join(a).(*crdt.EWFlag); !jj.Equal(j) {
+		t.Error("join not commutative")
+	}
+}
+
+func TestEWFlagObservedDisableWins(t *testing.T) {
+	a := crdt.NewEWFlag()
+	a.Enable("A")
+	b := a.Clone().(*crdt.EWFlag)
+	b.Disable() // b observed the enable
+	j := a.Join(b).(*crdt.EWFlag)
+	if j.Read() {
+		t.Error("an observed disable with no concurrent enable must win")
+	}
+}
+
+func TestEWFlagDeltaLaw(t *testing.T) {
+	f := crdt.NewEWFlag()
+	d := f.EnableDelta("A")
+	full := f.Clone().(*crdt.EWFlag)
+	full.Enable("A")
+	got := f.Join(d)
+	if !got.Equal(full) {
+		t.Error("enable(x) ≠ x ⊔ enableδ(x)")
+	}
+}
+
+func TestEWFlagDecomposition(t *testing.T) {
+	f := crdt.NewEWFlag()
+	f.Enable("A")
+	f.Enable("B")
+	d := lattice.Decompose(f)
+	if !core.IsDecomposition(d, f) || !core.IsIrredundant(d) {
+		t.Errorf("EWFlag decomposition invalid: %v", d)
+	}
+	// Δ works through the wrapper.
+	g := crdt.NewEWFlag()
+	delta := core.Delta(f, g)
+	g.Merge(delta)
+	if !g.Equal(f) {
+		t.Error("Δ did not reconcile flags")
+	}
+}

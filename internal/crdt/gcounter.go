@@ -1,0 +1,180 @@
+// Package crdt implements the catalog of state-based CRDTs used in the
+// paper's evaluation (GCounter, GSet, GMap) together with the further data
+// types its appendices cover (PNCounter, 2P-Set, LWW register) and an
+// add-wins set extension built on dot stores.
+//
+// Every data type exposes the paper's split between mutators and
+// δ-mutators: methods suffixed Delta are pure δ-mutators mδ that read the
+// current state and return only the (optimal) delta; the caller joins the
+// delta into the local state, exactly as Algorithm 1's store() does.
+package crdt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"crdtsync/internal/lattice"
+)
+
+// GCounter is a grow-only counter: the finite-function lattice I ↪ ℕ from
+// replica identifiers to per-replica increment counts, joined entry-wise
+// with max (Figure 2a of the paper).
+type GCounter struct {
+	counts map[string]uint64
+}
+
+// NewGCounter returns an empty (bottom) grow-only counter.
+func NewGCounter() *GCounter { return &GCounter{counts: make(map[string]uint64)} }
+
+// IncDelta is the optimal δ-mutator incδᵢ: it returns the single updated
+// entry {i ↦ p(i) + n} without mutating the receiver. n must be ≥ 1.
+func (c *GCounter) IncDelta(replica string, n uint64) *GCounter {
+	if n == 0 {
+		panic("crdt: GCounter.IncDelta with n == 0 is not an inflation")
+	}
+	return &GCounter{counts: map[string]uint64{replica: c.counts[replica] + n}}
+}
+
+// Inc applies the standard mutator incᵢ in place and returns the delta that
+// a δ-mutator would have produced, for convenience.
+func (c *GCounter) Inc(replica string, n uint64) *GCounter {
+	d := c.IncDelta(replica, n)
+	c.Merge(d)
+	return d
+}
+
+// Value returns the counter value: the sum of all per-replica entries.
+func (c *GCounter) Value() uint64 {
+	var sum uint64
+	for _, v := range c.counts {
+		sum += v
+	}
+	return sum
+}
+
+// Entry returns the count recorded for the given replica.
+func (c *GCounter) Entry(replica string) uint64 { return c.counts[replica] }
+
+// Range calls fn for every (replica, count) entry until fn returns false.
+// Iteration order is unspecified.
+func (c *GCounter) Range(fn func(replica string, count uint64) bool) {
+	for k, v := range c.counts {
+		if !fn(k, v) {
+			return
+		}
+	}
+}
+
+// Join returns the entry-wise max of the two counters.
+func (c *GCounter) Join(other lattice.State) lattice.State {
+	o := mustGCounter("Join", c, other)
+	j := &GCounter{counts: make(map[string]uint64, len(c.counts)+len(o.counts))}
+	for k, v := range c.counts {
+		j.counts[k] = v
+	}
+	for k, v := range o.counts {
+		if v > j.counts[k] {
+			j.counts[k] = v
+		}
+	}
+	return j
+}
+
+// Merge joins other into the receiver in place.
+func (c *GCounter) Merge(other lattice.State) {
+	o := mustGCounter("Merge", c, other)
+	if c.counts == nil {
+		c.counts = make(map[string]uint64, len(o.counts))
+	}
+	for k, v := range o.counts {
+		if v > c.counts[k] {
+			c.counts[k] = v
+		}
+	}
+}
+
+// Leq reports entry-wise ≤.
+func (c *GCounter) Leq(other lattice.State) bool {
+	o := mustGCounter("Leq", c, other)
+	for k, v := range c.counts {
+		if v > o.counts[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsBottom reports whether no replica has recorded increments.
+func (c *GCounter) IsBottom() bool { return len(c.counts) == 0 }
+
+// Bottom returns a fresh empty counter.
+func (c *GCounter) Bottom() lattice.State { return NewGCounter() }
+
+// Irreducibles yields one single-entry counter per map entry:
+// ⇓p = {{k ↦ v} | k ↦ v ∈ p} (§III-A of the paper).
+func (c *GCounter) Irreducibles(yield func(lattice.State) bool) {
+	for k, v := range c.counts {
+		if !yield(&GCounter{counts: map[string]uint64{k: v}}) {
+			return
+		}
+	}
+}
+
+// Equal reports entry-wise equality.
+func (c *GCounter) Equal(other lattice.State) bool {
+	o, ok := other.(*GCounter)
+	if !ok || len(c.counts) != len(o.counts) {
+		return false
+	}
+	for k, v := range c.counts {
+		if o.counts[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy.
+func (c *GCounter) Clone() lattice.State {
+	cp := &GCounter{counts: make(map[string]uint64, len(c.counts))}
+	for k, v := range c.counts {
+		cp.counts[k] = v
+	}
+	return cp
+}
+
+// Elements returns the number of entries in the map (the paper's GCounter
+// transmission/memory metric, Table I).
+func (c *GCounter) Elements() int { return len(c.counts) }
+
+// SizeBytes returns the wire size: per entry, the replica id plus 8 bytes.
+func (c *GCounter) SizeBytes() int {
+	n := 0
+	for k := range c.counts {
+		n += len(k) + 8
+	}
+	return n
+}
+
+// String renders the counter in sorted replica order.
+func (c *GCounter) String() string {
+	keys := make([]string, 0, len(c.counts))
+	for k := range c.counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s:%d", k, c.counts[k]))
+	}
+	return "GCounter{" + strings.Join(parts, ",") + "}"
+}
+
+func mustGCounter(op string, a, b lattice.State) *GCounter {
+	o, ok := b.(*GCounter)
+	if !ok {
+		panic(fmt.Sprintf("crdt: %s of mismatched types %T and %T", op, a, b))
+	}
+	return o
+}

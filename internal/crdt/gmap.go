@@ -1,0 +1,46 @@
+package crdt
+
+import (
+	"crdtsync/internal/core"
+	"crdtsync/internal/lattice"
+)
+
+// GMap is a grow-only map: the finite-function lattice U ↪ A from string
+// keys to an embedded value lattice, exactly the lattice.Map combinator.
+// The alias gives the CRDT catalog a home for the δ-mutators below while
+// keeping full type identity with the combinator (joins across the two
+// names are the same lattice).
+type GMap = lattice.Map
+
+// NewGMap returns an empty grow-only map.
+func NewGMap() *GMap { return lattice.NewMap() }
+
+// MapPutDelta is the optimal δ-mutator for storing value v at key k:
+// it returns the singleton map {k ↦ Δ(v, current(k))}, i.e. only the part
+// of v not already present under k. The receiver map is not mutated.
+// Writing a value that is already fully contained yields bottom.
+func MapPutDelta(m *GMap, k string, v lattice.State) *GMap {
+	cur := m.Get(k)
+	if cur == nil {
+		return lattice.NewMapEntry(k, v.Clone())
+	}
+	return lattice.NewMapEntry(k, core.Delta(v, cur))
+}
+
+// MapApplyDelta is the optimal δ-mutator for applying a value-level delta d
+// at key k (for example a nested counter increment): it returns
+// {k ↦ Δ(d, current(k))}. The receiver map is not mutated.
+func MapApplyDelta(m *GMap, k string, d lattice.State) *GMap {
+	cur := m.Get(k)
+	if cur == nil {
+		return lattice.NewMapEntry(k, d.Clone())
+	}
+	return lattice.NewMapEntry(k, core.Delta(d, cur))
+}
+
+// MapPut applies MapPutDelta in place and returns the delta.
+func MapPut(m *GMap, k string, v lattice.State) *GMap {
+	d := MapPutDelta(m, k, v)
+	m.Merge(d)
+	return d
+}

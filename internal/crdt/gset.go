@@ -1,0 +1,160 @@
+package crdt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"crdtsync/internal/lattice"
+)
+
+// GSet is a grow-only set over string elements: the powerset lattice P(E)
+// with join = union (Figure 2b of the paper).
+type GSet struct {
+	elems map[string]struct{}
+}
+
+// NewGSet returns a set containing the given elements.
+func NewGSet(elems ...string) *GSet {
+	s := &GSet{elems: make(map[string]struct{}, len(elems))}
+	for _, e := range elems {
+		s.elems[e] = struct{}{}
+	}
+	return s
+}
+
+// AddDelta is the optimal δ-mutator addδ of Figure 2b: it returns {e} if e
+// is not yet in the set and bottom otherwise, without mutating the receiver.
+func (s *GSet) AddDelta(e string) *GSet {
+	if _, ok := s.elems[e]; ok {
+		return NewGSet()
+	}
+	return NewGSet(e)
+}
+
+// Add applies the standard mutator in place and returns the delta.
+func (s *GSet) Add(e string) *GSet {
+	d := s.AddDelta(e)
+	s.Merge(d)
+	return d
+}
+
+// Contains reports membership of e.
+func (s *GSet) Contains(e string) bool {
+	_, ok := s.elems[e]
+	return ok
+}
+
+// Len returns the number of elements.
+func (s *GSet) Len() int { return len(s.elems) }
+
+// Values returns the elements in sorted order.
+func (s *GSet) Values() []string {
+	out := make([]string, 0, len(s.elems))
+	for e := range s.elems {
+		out = append(out, e)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Join returns the union of the two sets.
+func (s *GSet) Join(other lattice.State) lattice.State {
+	o := mustGSet("Join", s, other)
+	j := &GSet{elems: make(map[string]struct{}, len(s.elems)+len(o.elems))}
+	for e := range s.elems {
+		j.elems[e] = struct{}{}
+	}
+	for e := range o.elems {
+		j.elems[e] = struct{}{}
+	}
+	return j
+}
+
+// Merge adds all elements of other in place.
+func (s *GSet) Merge(other lattice.State) {
+	o := mustGSet("Merge", s, other)
+	if s.elems == nil {
+		s.elems = make(map[string]struct{}, len(o.elems))
+	}
+	for e := range o.elems {
+		s.elems[e] = struct{}{}
+	}
+}
+
+// Leq reports subset inclusion.
+func (s *GSet) Leq(other lattice.State) bool {
+	o := mustGSet("Leq", s, other)
+	if len(s.elems) > len(o.elems) {
+		return false
+	}
+	for e := range s.elems {
+		if _, ok := o.elems[e]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// IsBottom reports whether the set is empty.
+func (s *GSet) IsBottom() bool { return len(s.elems) == 0 }
+
+// Bottom returns a fresh empty set.
+func (s *GSet) Bottom() lattice.State { return NewGSet() }
+
+// Irreducibles yields one singleton per element: ⇓s = {{e} | e ∈ s}.
+func (s *GSet) Irreducibles(yield func(lattice.State) bool) {
+	for e := range s.elems {
+		if !yield(NewGSet(e)) {
+			return
+		}
+	}
+}
+
+// Equal reports element-wise equality.
+func (s *GSet) Equal(other lattice.State) bool {
+	o, ok := other.(*GSet)
+	if !ok || len(s.elems) != len(o.elems) {
+		return false
+	}
+	for e := range s.elems {
+		if _, present := o.elems[e]; !present {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy.
+func (s *GSet) Clone() lattice.State {
+	c := &GSet{elems: make(map[string]struct{}, len(s.elems))}
+	for e := range s.elems {
+		c.elems[e] = struct{}{}
+	}
+	return c
+}
+
+// Elements returns the number of set elements (the paper's GSet metric).
+func (s *GSet) Elements() int { return len(s.elems) }
+
+// SizeBytes returns the sum of the element byte lengths.
+func (s *GSet) SizeBytes() int {
+	n := 0
+	for e := range s.elems {
+		n += len(e)
+	}
+	return n
+}
+
+// String renders the set in sorted order.
+func (s *GSet) String() string {
+	return "GSet{" + strings.Join(s.Values(), ",") + "}"
+}
+
+func mustGSet(op string, a, b lattice.State) *GSet {
+	o, ok := b.(*GSet)
+	if !ok {
+		panic(fmt.Sprintf("crdt: %s of mismatched types %T and %T", op, a, b))
+	}
+	return o
+}

@@ -1,0 +1,215 @@
+package crdt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"crdtsync/internal/lattice"
+	"crdtsync/internal/vclock"
+)
+
+// MVRegister is a multi-value register: a write replaces every value it
+// has observed, and writes issued concurrently at different replicas all
+// survive until a later write observes them — the reader sees the set of
+// concurrent values (as in Dynamo). Like AWSet it is a causal CRDT:
+// state is ⟨dot store, causal context⟩ with the dot store mapping each
+// surviving write's dot to its value.
+//
+// Decomposition mirrors AWSet: one atom ⟨{d ↦ v}, {d}⟩ per surviving
+// write and one bare-context atom ⟨∅, {d}⟩ per superseded dot, unique on
+// the sublattice of well-formed states (one value per dot).
+type MVRegister struct {
+	vals   map[vclock.Dot]string
+	ctx    map[vclock.Dot]struct{}
+	maxSeq map[string]uint64
+}
+
+// NewMVRegister returns an unwritten (bottom) register.
+func NewMVRegister() *MVRegister {
+	return &MVRegister{
+		vals:   make(map[vclock.Dot]string),
+		ctx:    make(map[vclock.Dot]struct{}),
+		maxSeq: make(map[string]uint64),
+	}
+}
+
+func (r *MVRegister) addDot(d vclock.Dot) {
+	r.ctx[d] = struct{}{}
+	if d.Seq > r.maxSeq[d.Actor] {
+		r.maxSeq[d.Actor] = d.Seq
+	}
+}
+
+// WriteDelta is the δ-mutator for writing v at the given replica: a fresh
+// dot carrying v, with every observed write dot riding along in the
+// context so the join supersedes them. The receiver is not mutated.
+func (r *MVRegister) WriteDelta(replica, v string) *MVRegister {
+	d := vclock.Dot{Actor: replica, Seq: r.maxSeq[replica] + 1}
+	delta := NewMVRegister()
+	delta.vals[d] = v
+	delta.addDot(d)
+	for old := range r.vals {
+		delta.addDot(old)
+	}
+	return delta
+}
+
+// Write applies WriteDelta in place and returns the delta.
+func (r *MVRegister) Write(replica, v string) *MVRegister {
+	d := r.WriteDelta(replica, v)
+	r.Merge(d)
+	return d
+}
+
+// Values returns the surviving (concurrent) values, sorted and
+// deduplicated. An unwritten register returns nil.
+func (r *MVRegister) Values() []string {
+	seen := make(map[string]struct{}, len(r.vals))
+	var out []string
+	for _, v := range r.vals {
+		if _, dup := seen[v]; !dup {
+			seen[v] = struct{}{}
+			out = append(out, v)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Join returns the causal join of the two registers.
+func (r *MVRegister) Join(other lattice.State) lattice.State {
+	j := r.Clone().(*MVRegister)
+	j.Merge(other)
+	return j
+}
+
+// Merge joins other into the receiver in place: a write survives iff the
+// other side has it too, or has not observed it.
+func (r *MVRegister) Merge(other lattice.State) {
+	o := mustMVRegister("Merge", r, other)
+	for d := range r.vals {
+		if _, inOther := o.vals[d]; inOther {
+			continue
+		}
+		if _, seen := o.ctx[d]; seen {
+			delete(r.vals, d)
+		}
+	}
+	for d, v := range o.vals {
+		_, seen := r.ctx[d]
+		if _, mine := r.vals[d]; mine || !seen {
+			r.vals[d] = v
+		}
+	}
+	for d := range o.ctx {
+		r.addDot(d)
+	}
+}
+
+// Leq reports the causal order, mirroring AWSet.
+func (r *MVRegister) Leq(other lattice.State) bool {
+	o := mustMVRegister("Leq", r, other)
+	for d := range r.ctx {
+		if _, ok := o.ctx[d]; !ok {
+			return false
+		}
+	}
+	for d := range o.vals {
+		if _, observed := r.ctx[d]; !observed {
+			continue
+		}
+		if _, live := r.vals[d]; !live {
+			return false
+		}
+	}
+	return true
+}
+
+// IsBottom reports whether the register was never written.
+func (r *MVRegister) IsBottom() bool { return len(r.ctx) == 0 }
+
+// Bottom returns a fresh unwritten register.
+func (r *MVRegister) Bottom() lattice.State { return NewMVRegister() }
+
+// Irreducibles yields one atom per surviving write and one per superseded
+// dot.
+func (r *MVRegister) Irreducibles(yield func(lattice.State) bool) {
+	for d, v := range r.vals {
+		atom := NewMVRegister()
+		atom.vals[d] = v
+		atom.addDot(d)
+		if !yield(atom) {
+			return
+		}
+	}
+	for d := range r.ctx {
+		if _, live := r.vals[d]; live {
+			continue
+		}
+		atom := NewMVRegister()
+		atom.addDot(d)
+		if !yield(atom) {
+			return
+		}
+	}
+}
+
+// Equal reports structural equality.
+func (r *MVRegister) Equal(other lattice.State) bool {
+	o, ok := other.(*MVRegister)
+	if !ok || len(r.ctx) != len(o.ctx) || len(r.vals) != len(o.vals) {
+		return false
+	}
+	for d := range r.ctx {
+		if _, present := o.ctx[d]; !present {
+			return false
+		}
+	}
+	for d, v := range r.vals {
+		if ov, present := o.vals[d]; !present || ov != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy.
+func (r *MVRegister) Clone() lattice.State {
+	c := NewMVRegister()
+	for d, v := range r.vals {
+		c.vals[d] = v
+	}
+	for d := range r.ctx {
+		c.ctx[d] = struct{}{}
+	}
+	for a, q := range r.maxSeq {
+		c.maxSeq[a] = q
+	}
+	return c
+}
+
+// Elements returns the number of observed dots.
+func (r *MVRegister) Elements() int { return len(r.ctx) }
+
+// SizeBytes returns the wire size: values plus one dot each, plus context.
+func (r *MVRegister) SizeBytes() int {
+	n := len(r.ctx) * 12
+	for _, v := range r.vals {
+		n += len(v)
+	}
+	return n
+}
+
+// String renders the surviving values and context size.
+func (r *MVRegister) String() string {
+	return fmt.Sprintf("MVReg{%s|ctx:%d}", strings.Join(r.Values(), ","), len(r.ctx))
+}
+
+func mustMVRegister(op string, a, b lattice.State) *MVRegister {
+	o, ok := b.(*MVRegister)
+	if !ok {
+		panic(fmt.Sprintf("crdt: %s of mismatched types %T and %T", op, a, b))
+	}
+	return o
+}

@@ -1,0 +1,112 @@
+package crdt_test
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"crdtsync/internal/core"
+	"crdtsync/internal/crdt"
+	"crdtsync/internal/lattice"
+)
+
+func TestMVRegisterSequentialWrites(t *testing.T) {
+	r := crdt.NewMVRegister()
+	if got := r.Values(); got != nil {
+		t.Fatalf("unwritten register values = %v", got)
+	}
+	r.Write("A", "v1")
+	r.Write("A", "v2")
+	if got := r.Values(); len(got) != 1 || got[0] != "v2" {
+		t.Errorf("values = %v, want [v2] (write supersedes observed write)", got)
+	}
+}
+
+func TestMVRegisterConcurrentWritesSurvive(t *testing.T) {
+	a := crdt.NewMVRegister()
+	a.Write("A", "base")
+	b := a.Clone().(*crdt.MVRegister)
+	a.Write("A", "from-a")
+	b.Write("B", "from-b")
+	j := a.Join(b).(*crdt.MVRegister)
+	if got := j.Values(); len(got) != 2 || got[0] != "from-a" || got[1] != "from-b" {
+		t.Errorf("values = %v, want both concurrent writes", got)
+	}
+	// A later write observing both collapses them.
+	j.Write("C", "resolved")
+	if got := j.Values(); len(got) != 1 || got[0] != "resolved" {
+		t.Errorf("values = %v, want [resolved]", got)
+	}
+}
+
+func TestMVRegisterJoinCommutes(t *testing.T) {
+	a := crdt.NewMVRegister()
+	b := crdt.NewMVRegister()
+	a.Write("A", "x")
+	b.Write("B", "y")
+	ab := a.Join(b)
+	ba := b.Join(a)
+	if !ab.Equal(ba) {
+		t.Error("join not commutative")
+	}
+}
+
+func TestMVRegisterLatticeLaws(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	// Dots must identify writes uniquely, so every simulated replica
+	// writes under its own actor namespace (a well-formedness invariant
+	// of causal CRDTs).
+	random := func(actor string) *crdt.MVRegister {
+		reg := crdt.NewMVRegister()
+		for i, n := 0, r.Intn(5); i < n; i++ {
+			reg.Write(actor+strconv.Itoa(r.Intn(3)), "v"+strconv.Itoa(r.Intn(4)))
+		}
+		return reg
+	}
+	for i := 0; i < 300; i++ {
+		a, b, c := random("a"), random("b"), random("c")
+		if !a.Join(b).Equal(b.Join(a)) {
+			t.Fatal("join not commutative")
+		}
+		if !a.Join(a).Equal(a) {
+			t.Fatal("join not idempotent")
+		}
+		if !a.Join(b).Join(c).Equal(a.Join(b.Join(c))) {
+			t.Fatal("join not associative")
+		}
+		if got, want := a.Leq(b), a.Join(b).Equal(b); got != want {
+			t.Fatalf("Leq disagrees with join-test for %v vs %v", a, b)
+		}
+	}
+}
+
+func TestMVRegisterDecompositionAndDelta(t *testing.T) {
+	a := crdt.NewMVRegister()
+	a.Write("A", "x")
+	b := a.Clone().(*crdt.MVRegister)
+	a.Write("A", "y") // supersedes x: one live atom + one tombstone
+	d := lattice.Decompose(a)
+	if len(d) != 2 {
+		t.Fatalf("decomposition size = %d, want 2", len(d))
+	}
+	if !core.IsDecomposition(d, a) || !core.IsIrredundant(d) {
+		t.Error("MVRegister decomposition invalid")
+	}
+	// Optimal delta reconciles the stale replica.
+	delta := core.Delta(a, b)
+	b.Merge(delta)
+	if !b.Equal(a) {
+		t.Errorf("Δ did not reconcile: %v vs %v", b, a)
+	}
+}
+
+func TestMVRegisterWriteDeltaLaw(t *testing.T) {
+	r := crdt.NewMVRegister()
+	r.Write("A", "v0")
+	d := r.WriteDelta("B", "v1")
+	full := r.Clone().(*crdt.MVRegister)
+	full.Write("B", "v1")
+	if got := r.Join(d); !got.Equal(full) {
+		t.Error("write(x) ≠ x ⊔ writeδ(x)")
+	}
+}

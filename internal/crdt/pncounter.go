@@ -1,0 +1,220 @@
+package crdt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"crdtsync/internal/lattice"
+)
+
+// pn holds the per-replica increment and decrement totals of a PNCounter.
+type pn struct {
+	Inc, Dec uint64
+}
+
+// PNCounter is a positive-negative counter: the finite-function lattice
+// I ↪ (ℕ × ℕ) mapping each replica to a pair of increment and decrement
+// totals (Appendix C of the paper). Value is the difference of the sums.
+type PNCounter struct {
+	counts map[string]pn
+}
+
+// NewPNCounter returns an empty (bottom) counter.
+func NewPNCounter() *PNCounter { return &PNCounter{counts: make(map[string]pn)} }
+
+// IncDelta returns the δ-mutator result for n increments by replica:
+// the single entry {i ↦ ⟨inc + n, 0⟩}. n must be ≥ 1.
+func (c *PNCounter) IncDelta(replica string, n uint64) *PNCounter {
+	if n == 0 {
+		panic("crdt: PNCounter.IncDelta with n == 0 is not an inflation")
+	}
+	cur := c.counts[replica]
+	return &PNCounter{counts: map[string]pn{replica: {Inc: cur.Inc + n}}}
+}
+
+// DecDelta returns the δ-mutator result for n decrements by replica:
+// the single entry {i ↦ ⟨0, dec + n⟩}. n must be ≥ 1.
+func (c *PNCounter) DecDelta(replica string, n uint64) *PNCounter {
+	if n == 0 {
+		panic("crdt: PNCounter.DecDelta with n == 0 is not an inflation")
+	}
+	cur := c.counts[replica]
+	return &PNCounter{counts: map[string]pn{replica: {Dec: cur.Dec + n}}}
+}
+
+// Inc applies n increments in place and returns the delta.
+func (c *PNCounter) Inc(replica string, n uint64) *PNCounter {
+	d := c.IncDelta(replica, n)
+	c.Merge(d)
+	return d
+}
+
+// Dec applies n decrements in place and returns the delta.
+func (c *PNCounter) Dec(replica string, n uint64) *PNCounter {
+	d := c.DecDelta(replica, n)
+	c.Merge(d)
+	return d
+}
+
+// Value returns total increments minus total decrements.
+func (c *PNCounter) Value() int64 {
+	var v int64
+	for _, e := range c.counts {
+		v += int64(e.Inc) - int64(e.Dec)
+	}
+	return v
+}
+
+// Range calls fn for every (replica, increments, decrements) entry until
+// fn returns false. Iteration order is unspecified.
+func (c *PNCounter) Range(fn func(replica string, inc, dec uint64) bool) {
+	for k, v := range c.counts {
+		if !fn(k, v.Inc, v.Dec) {
+			return
+		}
+	}
+}
+
+// Join returns the entry-wise, component-wise max of the two counters.
+func (c *PNCounter) Join(other lattice.State) lattice.State {
+	o := mustPNCounter("Join", c, other)
+	j := &PNCounter{counts: make(map[string]pn, len(c.counts)+len(o.counts))}
+	for k, v := range c.counts {
+		j.counts[k] = v
+	}
+	for k, v := range o.counts {
+		cur := j.counts[k]
+		if v.Inc > cur.Inc {
+			cur.Inc = v.Inc
+		}
+		if v.Dec > cur.Dec {
+			cur.Dec = v.Dec
+		}
+		j.counts[k] = cur
+	}
+	return j
+}
+
+// Merge joins other into the receiver in place.
+func (c *PNCounter) Merge(other lattice.State) {
+	o := mustPNCounter("Merge", c, other)
+	if c.counts == nil {
+		c.counts = make(map[string]pn, len(o.counts))
+	}
+	for k, v := range o.counts {
+		cur := c.counts[k]
+		if v.Inc > cur.Inc {
+			cur.Inc = v.Inc
+		}
+		if v.Dec > cur.Dec {
+			cur.Dec = v.Dec
+		}
+		c.counts[k] = cur
+	}
+}
+
+// Leq reports entry-wise, component-wise ≤.
+func (c *PNCounter) Leq(other lattice.State) bool {
+	o := mustPNCounter("Leq", c, other)
+	for k, v := range c.counts {
+		ov := o.counts[k]
+		if v.Inc > ov.Inc || v.Dec > ov.Dec {
+			return false
+		}
+	}
+	return true
+}
+
+// IsBottom reports whether no replica has recorded operations.
+func (c *PNCounter) IsBottom() bool { return len(c.counts) == 0 }
+
+// Bottom returns a fresh empty counter.
+func (c *PNCounter) Bottom() lattice.State { return NewPNCounter() }
+
+// Irreducibles yields, per entry, the increment-only and decrement-only
+// projections, matching the paper's PNCounter example in Appendix C:
+// ⇓{A↦⟨2,3⟩} = {{A↦⟨2,0⟩}, {A↦⟨0,3⟩}}.
+func (c *PNCounter) Irreducibles(yield func(lattice.State) bool) {
+	for k, v := range c.counts {
+		if v.Inc > 0 {
+			if !yield(&PNCounter{counts: map[string]pn{k: {Inc: v.Inc}}}) {
+				return
+			}
+		}
+		if v.Dec > 0 {
+			if !yield(&PNCounter{counts: map[string]pn{k: {Dec: v.Dec}}}) {
+				return
+			}
+		}
+	}
+}
+
+// Equal reports entry-wise equality.
+func (c *PNCounter) Equal(other lattice.State) bool {
+	o, ok := other.(*PNCounter)
+	if !ok || len(c.counts) != len(o.counts) {
+		return false
+	}
+	for k, v := range c.counts {
+		if o.counts[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy.
+func (c *PNCounter) Clone() lattice.State {
+	cp := &PNCounter{counts: make(map[string]pn, len(c.counts))}
+	for k, v := range c.counts {
+		cp.counts[k] = v
+	}
+	return cp
+}
+
+// Elements returns the number of non-zero components across all entries.
+func (c *PNCounter) Elements() int {
+	n := 0
+	for _, v := range c.counts {
+		if v.Inc > 0 {
+			n++
+		}
+		if v.Dec > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// SizeBytes returns the wire size: per entry, the replica id plus 16 bytes.
+func (c *PNCounter) SizeBytes() int {
+	n := 0
+	for k := range c.counts {
+		n += len(k) + 16
+	}
+	return n
+}
+
+// String renders the counter in sorted replica order.
+func (c *PNCounter) String() string {
+	keys := make([]string, 0, len(c.counts))
+	for k := range c.counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		e := c.counts[k]
+		parts = append(parts, fmt.Sprintf("%s:+%d-%d", k, e.Inc, e.Dec))
+	}
+	return "PNCounter{" + strings.Join(parts, ",") + "}"
+}
+
+func mustPNCounter(op string, a, b lattice.State) *PNCounter {
+	o, ok := b.(*PNCounter)
+	if !ok {
+		panic(fmt.Sprintf("crdt: %s of mismatched types %T and %T", op, a, b))
+	}
+	return o
+}

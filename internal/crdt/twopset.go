@@ -1,0 +1,146 @@
+package crdt
+
+import (
+	"fmt"
+
+	"crdtsync/internal/lattice"
+)
+
+// TwoPSet is a two-phase set: the product lattice P(E) × P(E) of an added
+// set and a removed (tombstone) set. An element is a member when it is in
+// added and not in removed; removal is permanent (remove-wins, no re-add).
+type TwoPSet struct {
+	added, removed *GSet
+}
+
+// NewTwoPSet returns an empty two-phase set.
+func NewTwoPSet() *TwoPSet {
+	return &TwoPSet{added: NewGSet(), removed: NewGSet()}
+}
+
+// AddDelta returns the δ-mutator result for adding e: a state whose added
+// component is {e} if e was absent from added, bottom otherwise.
+func (s *TwoPSet) AddDelta(e string) *TwoPSet {
+	return &TwoPSet{added: s.added.AddDelta(e), removed: NewGSet()}
+}
+
+// RemoveDelta returns the δ-mutator result for removing e: a state whose
+// removed component is {e} if e was absent from removed, bottom otherwise.
+// Removing a never-added element is permitted and poisons future adds.
+func (s *TwoPSet) RemoveDelta(e string) *TwoPSet {
+	return &TwoPSet{added: NewGSet(), removed: s.removed.AddDelta(e)}
+}
+
+// Add applies AddDelta in place and returns the delta.
+func (s *TwoPSet) Add(e string) *TwoPSet {
+	d := s.AddDelta(e)
+	s.Merge(d)
+	return d
+}
+
+// Remove applies RemoveDelta in place and returns the delta.
+func (s *TwoPSet) Remove(e string) *TwoPSet {
+	d := s.RemoveDelta(e)
+	s.Merge(d)
+	return d
+}
+
+// Contains reports whether e is currently a member.
+func (s *TwoPSet) Contains(e string) bool {
+	return s.added.Contains(e) && !s.removed.Contains(e)
+}
+
+// Values returns the current members in sorted order.
+func (s *TwoPSet) Values() []string {
+	var out []string
+	for _, e := range s.added.Values() {
+		if !s.removed.Contains(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Added returns the added-set contents in sorted order (including
+// tombstoned elements).
+func (s *TwoPSet) Added() []string { return s.added.Values() }
+
+// Removed returns the tombstone-set contents in sorted order.
+func (s *TwoPSet) Removed() []string { return s.removed.Values() }
+
+// Join returns the component-wise union.
+func (s *TwoPSet) Join(other lattice.State) lattice.State {
+	o := mustTwoPSet("Join", s, other)
+	return &TwoPSet{
+		added:   s.added.Join(o.added).(*GSet),
+		removed: s.removed.Join(o.removed).(*GSet),
+	}
+}
+
+// Merge joins other into the receiver in place.
+func (s *TwoPSet) Merge(other lattice.State) {
+	o := mustTwoPSet("Merge", s, other)
+	s.added.Merge(o.added)
+	s.removed.Merge(o.removed)
+}
+
+// Leq reports component-wise inclusion.
+func (s *TwoPSet) Leq(other lattice.State) bool {
+	o := mustTwoPSet("Leq", s, other)
+	return s.added.Leq(o.added) && s.removed.Leq(o.removed)
+}
+
+// IsBottom reports whether both components are empty.
+func (s *TwoPSet) IsBottom() bool { return s.added.IsBottom() && s.removed.IsBottom() }
+
+// Bottom returns a fresh empty two-phase set.
+func (s *TwoPSet) Bottom() lattice.State { return NewTwoPSet() }
+
+// Irreducibles yields singleton-added and singleton-removed states,
+// following the product decomposition rule ⇓⟨a,b⟩ = ⇓a×{⊥} ∪ {⊥}×⇓b.
+func (s *TwoPSet) Irreducibles(yield func(lattice.State) bool) {
+	stop := false
+	s.added.Irreducibles(func(ia lattice.State) bool {
+		if !yield(&TwoPSet{added: ia.(*GSet), removed: NewGSet()}) {
+			stop = true
+			return false
+		}
+		return true
+	})
+	if stop {
+		return
+	}
+	s.removed.Irreducibles(func(ir lattice.State) bool {
+		return yield(&TwoPSet{added: NewGSet(), removed: ir.(*GSet)})
+	})
+}
+
+// Equal reports component-wise equality.
+func (s *TwoPSet) Equal(other lattice.State) bool {
+	o, ok := other.(*TwoPSet)
+	return ok && s.added.Equal(o.added) && s.removed.Equal(o.removed)
+}
+
+// Clone returns a deep copy.
+func (s *TwoPSet) Clone() lattice.State {
+	return &TwoPSet{added: s.added.Clone().(*GSet), removed: s.removed.Clone().(*GSet)}
+}
+
+// Elements returns the total number of added plus removed entries.
+func (s *TwoPSet) Elements() int { return s.added.Elements() + s.removed.Elements() }
+
+// SizeBytes returns the combined component sizes.
+func (s *TwoPSet) SizeBytes() int { return s.added.SizeBytes() + s.removed.SizeBytes() }
+
+// String renders both components.
+func (s *TwoPSet) String() string {
+	return fmt.Sprintf("TwoPSet{added:%s,removed:%s}", s.added, s.removed)
+}
+
+func mustTwoPSet(op string, a, b lattice.State) *TwoPSet {
+	o, ok := b.(*TwoPSet)
+	if !ok {
+		panic(fmt.Sprintf("crdt: %s of mismatched types %T and %T", op, a, b))
+	}
+	return o
+}

@@ -1,0 +1,195 @@
+package exp
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// cell parses a float cell, failing on render errors.
+func cell(t *testing.T, tab *Table, row int, col int) float64 {
+	t.Helper()
+	s := strings.TrimSuffix(strings.TrimSuffix(tab.Rows[row][col], "x"), "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("table %s row %d col %d: %q is not numeric: %v", tab.ID, row, col, tab.Rows[row][col], err)
+	}
+	return v
+}
+
+// rowIdx locates the row whose first cell equals name.
+func rowIdx(t *testing.T, tab *Table, name string) int {
+	t.Helper()
+	for i, r := range tab.Rows {
+		if r[0] == name {
+			return i
+		}
+	}
+	t.Fatalf("table %s: no row %q", tab.ID, name)
+	return -1
+}
+
+func TestFig1Shape(t *testing.T) {
+	tab := Fig1(TestConfig())
+	// TOTAL row: classic/state cumulative ratio should be near 1
+	// (classic delta is no better than state-based on a mesh).
+	total := rowIdx(t, tab, "TOTAL")
+	r := cell(t, tab, total, 3)
+	if r < 0.5 || r > 1.6 {
+		t.Errorf("fig1: classic/state transmission ratio = %.2f, want near 1", r)
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	tab := Fig7(TestConfig())
+	gsetTree, gsetMesh := 1, 2 // columns
+	gcMesh := 4
+
+	state := rowIdx(t, tab, "state-based")
+	classic := rowIdx(t, tab, "delta-classic")
+	bp := rowIdx(t, tab, "delta-bp")
+	sb := rowIdx(t, tab, "scuttlebutt")
+
+	// Mesh, GSet: classic should be within 40% of state-based and both
+	// well above BP+RR (= 1.0).
+	if c, s := cell(t, tab, classic, gsetMesh), cell(t, tab, state, gsetMesh); c < 0.6*s {
+		t.Errorf("fig7 mesh/gset: classic (%.2f) should be comparable to state (%.2f)", c, s)
+	}
+	if c := cell(t, tab, classic, gsetMesh); c < 2 {
+		t.Errorf("fig7 mesh/gset: classic ratio %.2f, want well above 1", c)
+	}
+	// Tree, GSet: BP alone attains the best result.
+	if b := cell(t, tab, bp, gsetTree); b > 1.15 {
+		t.Errorf("fig7 tree/gset: BP alone ratio %.2f, want ≈1", b)
+	}
+	// Mesh, GCounter: Scuttlebutt behaves worse than state-based
+	// (it cannot compress increments under the join).
+	if sbr, st := cell(t, tab, sb, gcMesh), cell(t, tab, state, gcMesh); sbr <= st {
+		t.Errorf("fig7 mesh/gcounter: scuttlebutt (%.2f) should exceed state-based (%.2f)", sbr, st)
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	tab := Fig8(TestConfig())
+	classic := rowIdx(t, tab, "delta-classic")
+	bp := rowIdx(t, tab, "delta-bp")
+	// Columns alternate tree/mesh for K = 10, 30, 60, 100.
+	// Tree columns are odd-indexed starting at 1.
+	for _, col := range []int{1, 3, 5, 7} {
+		if b := cell(t, tab, bp, col); b > 1.2 {
+			t.Errorf("fig8 col %d (tree): BP alone ratio %.2f, want ≈1", col, b)
+		}
+	}
+	// Mesh, sparse GMap (10%): classic far above BP+RR.
+	if c := cell(t, tab, classic, 2); c < 2 {
+		t.Errorf("fig8 gmap10/mesh: classic ratio %.2f, want well above 1", c)
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	cfg := TestConfig()
+	tab := Fig9(cfg)
+	// Collect metadata-percent per protocol at the largest N.
+	last := func(proto string) float64 {
+		for i := len(tab.Rows) - 1; i >= 0; i-- {
+			if tab.Rows[i][0] == proto {
+				return cell(t, tab, i, 3)
+			}
+		}
+		t.Fatalf("fig9: protocol %s not found", proto)
+		return 0
+	}
+	deltaPct := last("delta-bp+rr")
+	sbPct := last("scuttlebutt")
+	gcPct := last("scuttlebutt-gc")
+	opPct := last("op-based")
+	if deltaPct > 25 {
+		t.Errorf("fig9: delta metadata share %.1f%%, want small", deltaPct)
+	}
+	for name, pct := range map[string]float64{"scuttlebutt": sbPct, "scuttlebutt-gc": gcPct, "op-based": opPct} {
+		if pct < 50 {
+			t.Errorf("fig9: %s metadata share %.1f%%, want dominant (>50%%)", name, pct)
+		}
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	tab := Fig10(TestConfig())
+	state := rowIdx(t, tab, "state-based")
+	classic := rowIdx(t, tab, "delta-classic")
+	sb := rowIdx(t, tab, "scuttlebutt")
+	gsetCol := 2
+	// State-based needs no sync metadata: at or below BP+RR.
+	if s := cell(t, tab, state, gsetCol); s > 1.05 {
+		t.Errorf("fig10 gset: state-based memory ratio %.2f, want ≤ 1", s)
+	}
+	// Classic delta stores larger δ-groups: above BP+RR.
+	if c := cell(t, tab, classic, gsetCol); c < 1.0 {
+		t.Errorf("fig10 gset: classic memory ratio %.2f, want ≥ 1", c)
+	}
+	// Plain Scuttlebutt never prunes: clearly above BP+RR.
+	if s := cell(t, tab, sb, gsetCol); s < 1.0 {
+		t.Errorf("fig10 gset: scuttlebutt memory ratio %.2f, want > 1", s)
+	}
+}
+
+func TestRetwisSweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("retwis sweep is slow")
+	}
+	cfg := TestConfig()
+	points := RetwisSweep(cfg)
+	byKey := make(map[string]RetwisPoint)
+	for _, p := range points {
+		byKey[p.Protocol+"/"+strconvF(p.Zipf)] = p
+		if !p.Converged {
+			t.Errorf("retwis %s zipf=%.2f did not converge", p.Protocol, p.Zipf)
+		}
+	}
+	// High contention: classic transmits much more than BP+RR in the
+	// second half.
+	hiClassic := byKey["delta-classic/1.50"]
+	hiBPRR := byKey["delta-bp+rr/1.50"]
+	if hiClassic.BytesPerNodeSecond < 1.5*hiBPRR.BytesPerNodeSecond {
+		t.Errorf("retwis zipf=1.5: classic tx/node %.0f vs bp+rr %.0f, want classic ≫",
+			hiClassic.BytesPerNodeSecond, hiBPRR.BytesPerNodeSecond)
+	}
+	// Low contention: classic is close to BP+RR (within 2×).
+	loClassic := byKey["delta-classic/0.50"]
+	loBPRR := byKey["delta-bp+rr/0.50"]
+	if loBPRR.BytesPerNodeSecond > 0 && loClassic.BytesPerNodeSecond > 2.5*loBPRR.BytesPerNodeSecond {
+		t.Errorf("retwis zipf=0.5: classic tx/node %.0f vs bp+rr %.0f, want near-equal",
+			loClassic.BytesPerNodeSecond, loBPRR.BytesPerNodeSecond)
+	}
+	// Render both figures without error.
+	Fig11From(points)
+	Fig12From(points)
+}
+
+func strconvF(f float64) string { return strconv.FormatFloat(f, 'f', 2, 64) }
+
+func TestTableII(t *testing.T) {
+	cfg := TestConfig()
+	cfg.RetwisRounds = 40
+	tab := TableII(cfg)
+	follow := cell(t, tab, 0, 2)
+	post := cell(t, tab, 1, 2)
+	timeline := cell(t, tab, 2, 2)
+	if follow < 10 || follow > 20 {
+		t.Errorf("tab2: follow share %.0f%%, want ≈15%%", follow)
+	}
+	if post < 30 || post > 40 {
+		t.Errorf("tab2: post share %.0f%%, want ≈35%%", post)
+	}
+	if timeline < 45 || timeline > 55 {
+		t.Errorf("tab2: timeline share %.0f%%, want ≈50%%", timeline)
+	}
+	// Follow performs exactly 1 update.
+	if u := cell(t, tab, 0, 1); u != 1 {
+		t.Errorf("tab2: follow updates %.2f, want 1", u)
+	}
+	// Post performs at least 1 update (1 + #followers).
+	if u := cell(t, tab, 1, 1); u < 1 {
+		t.Errorf("tab2: post updates %.2f, want ≥ 1", u)
+	}
+}

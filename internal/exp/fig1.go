@@ -1,0 +1,77 @@
+package exp
+
+import (
+	"strconv"
+
+	"crdtsync/internal/netsim"
+	"crdtsync/internal/workload"
+)
+
+// simOpts builds the simulator options for an experiment run.
+func simOpts(cfg Config, measureCPU bool) netsim.Options {
+	return netsim.Options{Seed: cfg.Seed, MeasureCPU: measureCPU}
+}
+
+func itoa(i int) string { return strconv.Itoa(i) }
+
+// Fig1 reproduces Figure 1: 15 nodes in a partial mesh replicating an
+// always-growing set. The left columns give the number of elements sent
+// per round for state-based vs classic delta-based synchronization; the
+// last rows give totals and classic delta-based's CPU processing time
+// ratio with respect to state-based. The paper's observation: classic
+// delta-based is no better than state-based in transmission and costs
+// more CPU.
+func Fig1(cfg Config) *Table {
+	topo := cfg.mesh(cfg.Nodes)
+	gen := workload.GSetGen{}
+	dt := workload.GSetType{}
+
+	state := run(topo, Roster()[0].Factory, dt, gen, cfg.Rounds, cfg.QuietRounds, simOpts(cfg, true))
+	classic := run(topo, Roster()[1].Factory, dt, gen, cfg.Rounds, cfg.QuietRounds, simOpts(cfg, true))
+
+	t := &Table{
+		ID:     "fig1",
+		Title:  "GSet on partial mesh: elements sent per round + CPU ratio vs state-based",
+		Header: []string{"round", "state-based elems", "classic-delta elems", "classic/state (cum)"},
+	}
+	maxLen := len(state.RoundElements)
+	if len(classic.RoundElements) > maxLen {
+		maxLen = len(classic.RoundElements)
+	}
+	at := func(s []int, i int) int {
+		if i < len(s) {
+			return s[i]
+		}
+		return 0
+	}
+	step := maxLen / 10
+	if step == 0 {
+		step = 1
+	}
+	stateCum, classicCum := 0, 0
+	for i := 0; i < maxLen; i++ {
+		stateCum += at(state.RoundElements, i)
+		classicCum += at(classic.RoundElements, i)
+		if (i+1)%step == 0 || i == maxLen-1 {
+			t.Rows = append(t.Rows, []string{
+				itoa(i + 1),
+				itoa(at(state.RoundElements, i)),
+				itoa(at(classic.RoundElements, i)),
+				ratio(float64(classicCum), float64(stateCum)),
+			})
+		}
+	}
+	t.Rows = append(t.Rows, []string{
+		"TOTAL",
+		itoa(state.Sent.Elements),
+		itoa(classic.Sent.Elements),
+		ratio(float64(classic.Sent.Elements), float64(state.Sent.Elements)),
+	})
+	t.Rows = append(t.Rows, []string{
+		"CPU",
+		state.CPUTotal.String(),
+		classic.CPUTotal.String(),
+		ratio(float64(classic.CPUTotal), float64(state.CPUTotal)),
+	})
+	return t
+}

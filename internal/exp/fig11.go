@@ -1,0 +1,161 @@
+package exp
+
+import (
+	"crdtsync/internal/protocol"
+	"fmt"
+	"time"
+
+	"crdtsync/internal/netsim"
+	"crdtsync/internal/retwis"
+)
+
+// RetwisPoint is the outcome of one (zipf coefficient, protocol) run of the
+// Retwis macro-benchmark.
+type RetwisPoint struct {
+	Zipf     float64
+	Protocol string
+	// BytesPerNodeFirst/Second are transmission bytes per node per round
+	// in each half of the experiment (the paper reports GB/s per node for
+	// each half).
+	BytesPerNodeFirst, BytesPerNodeSecond float64
+	// MemPerNodeFirst/Second are the average memory footprints per node
+	// in each half.
+	MemPerNodeFirst, MemPerNodeSecond float64
+	// CPU is the accumulated processing time across all nodes.
+	CPU time.Duration
+	// Converged reports whether the run reached convergence.
+	Converged bool
+}
+
+// RetwisSweep runs the Retwis workload (§V-C) for every Zipf coefficient
+// with classic delta-based and delta-based BP+RR, on the 50-node partial
+// mesh, measuring transmission, memory and CPU.
+func RetwisSweep(cfg Config) []RetwisPoint {
+	topo := cfg.mesh(cfg.RetwisNodes)
+	// The paper replicates 30k objects, each an independent CRDT with its
+	// own δ-buffer; NewPerObject reproduces that deployment model, which
+	// is what makes classic delta-based near-optimal at low contention.
+	protos := []Proto{
+		{"delta-classic", protocol.NewPerObject(protocol.NewDeltaClassic(), retwis.ObjectDatatype)},
+		{"delta-bp+rr", protocol.NewPerObject(protocol.NewDeltaBPRR(), retwis.ObjectDatatype)},
+	}
+	var out []RetwisPoint
+	for _, z := range cfg.ZipfCoeffs {
+		for _, p := range protos {
+			gen := retwis.NewGen(cfg.RetwisUsers, cfg.RetwisOpsPerRound, z, cfg.Seed)
+			opts := netsim.Options{Seed: cfg.Seed, MeasureCPU: true}
+			res := run(topo, p.Factory, retwis.StoreType{}, gen, cfg.RetwisRounds, cfg.QuietRounds, opts)
+			out = append(out, retwisPoint(z, p.Name, cfg, res))
+		}
+	}
+	return out
+}
+
+func retwisPoint(z float64, name string, cfg Config, res runResult) RetwisPoint {
+	pt := RetwisPoint{Zipf: z, Protocol: name, CPU: res.CPUTotal, Converged: res.Converged}
+	half := cfg.RetwisRounds / 2
+	if half == 0 {
+		half = 1
+	}
+	sum := func(s []int, from, to int) float64 {
+		total := 0.0
+		for i := from; i < to && i < len(s); i++ {
+			total += float64(s[i])
+		}
+		return total
+	}
+	n := float64(res.Nodes)
+	pt.BytesPerNodeFirst = sum(res.RoundBytes, 0, half) / (n * float64(half))
+	rest := cfg.RetwisRounds - half
+	if rest == 0 {
+		rest = 1
+	}
+	pt.BytesPerNodeSecond = sum(res.RoundBytes, half, cfg.RetwisRounds) / (n * float64(rest))
+	// Memory halves: average the per-round totals of each node.
+	memHalf := func(from, to int) float64 {
+		total, count := 0.0, 0
+		for _, samples := range res.MemSamples {
+			for i := from; i < to && i < len(samples); i++ {
+				total += float64(samples[i].Total())
+				count++
+			}
+		}
+		if count == 0 {
+			return 0
+		}
+		return total / float64(count)
+	}
+	pt.MemPerNodeFirst = memHalf(0, half)
+	pt.MemPerNodeSecond = memHalf(half, cfg.RetwisRounds)
+	return pt
+}
+
+// Fig11From renders Figure 11 from a sweep: transmission bandwidth per
+// node (top) and average memory per node (bottom) of classic delta-based
+// and BP+RR for the Zipf coefficient sweep, split into experiment halves.
+// Expected shape: at low contention classic ≈ BP+RR; as contention grows
+// classic's bandwidth and memory blow up while BP+RR stays bounded.
+func Fig11From(points []RetwisPoint) *Table {
+	t := &Table{
+		ID:    "fig11",
+		Title: "Retwis: transmission and memory per node vs Zipf coefficient (halves)",
+		Header: []string{
+			"zipf", "protocol",
+			"tx/node 1st half", "tx/node 2nd half",
+			"mem/node 1st half", "mem/node 2nd half",
+		},
+	}
+	for _, pt := range points {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.2f", pt.Zipf),
+			pt.Protocol,
+			fmtBytes(pt.BytesPerNodeFirst),
+			fmtBytes(pt.BytesPerNodeSecond),
+			fmtBytes(pt.MemPerNodeFirst),
+			fmtBytes(pt.MemPerNodeSecond),
+		})
+	}
+	return t
+}
+
+// Fig12From renders Figure 12 from a sweep: the CPU overhead of classic
+// delta-based with respect to delta-based BP+RR, per Zipf coefficient.
+// The paper reports overheads of 0.4×, 5.5× and 7.9× for coefficients
+// 1, 1.25 and 1.5.
+func Fig12From(points []RetwisPoint) *Table {
+	t := &Table{
+		ID:     "fig12",
+		Title:  "Retwis: CPU overhead of classic delta-based vs BP+RR",
+		Header: []string{"zipf", "classic CPU", "bp+rr CPU", "overhead (classic/bprr - 1)"},
+	}
+	byZipf := make(map[float64]map[string]RetwisPoint)
+	var order []float64
+	for _, pt := range points {
+		if _, ok := byZipf[pt.Zipf]; !ok {
+			byZipf[pt.Zipf] = make(map[string]RetwisPoint)
+			order = append(order, pt.Zipf)
+		}
+		byZipf[pt.Zipf][pt.Protocol] = pt
+	}
+	for _, z := range order {
+		classic := byZipf[z]["delta-classic"]
+		bprr := byZipf[z]["delta-bp+rr"]
+		overhead := "n/a"
+		if bprr.CPU > 0 {
+			overhead = fmt.Sprintf("%.1fx", float64(classic.CPU)/float64(bprr.CPU)-1)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.2f", z),
+			classic.CPU.String(),
+			bprr.CPU.String(),
+			overhead,
+		})
+	}
+	return t
+}
+
+// Fig11 runs the sweep and renders Figure 11.
+func Fig11(cfg Config) *Table { return Fig11From(RetwisSweep(cfg)) }
+
+// Fig12 runs the sweep and renders Figure 12.
+func Fig12(cfg Config) *Table { return Fig12From(RetwisSweep(cfg)) }

@@ -1,0 +1,92 @@
+package exp
+
+import (
+	"crdtsync/internal/topology"
+	"crdtsync/internal/workload"
+)
+
+// microCase is one datatype/topology combination of Figures 7 and 8.
+type microCase struct {
+	label string
+	topo  *topology.Graph
+	dt    workload.Datatype
+	gen   workload.Generator
+}
+
+// transmissionRatios runs every protocol on every case and reports the
+// transmission ratio (in lattice elements, the paper's metric) with
+// respect to delta-based BP+RR.
+func transmissionRatios(cfg Config, id, title string, cases []microCase) *Table {
+	t := &Table{
+		ID:     id,
+		Title:  title,
+		Header: append([]string{"protocol"}, labels(cases)...),
+	}
+	// Baseline: BP+RR per case.
+	base := make([]float64, len(cases))
+	bprr := Roster()[4]
+	for i, c := range cases {
+		res := run(c.topo, bprr.Factory, c.dt, c.gen, cfg.Rounds, cfg.QuietRounds, simOpts(cfg, false))
+		base[i] = float64(res.Sent.Elements)
+	}
+	for _, p := range Roster() {
+		row := []string{p.Name}
+		for i, c := range cases {
+			if p.Name == "delta-bp+rr" {
+				row = append(row, "1.00")
+				continue
+			}
+			res := run(c.topo, p.Factory, c.dt, c.gen, cfg.Rounds, cfg.QuietRounds, simOpts(cfg, false))
+			row = append(row, ratio(float64(res.Sent.Elements), base[i]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+func labels(cases []microCase) []string {
+	out := make([]string, len(cases))
+	for i, c := range cases {
+		out[i] = c.label
+	}
+	return out
+}
+
+// Fig7 reproduces Figure 7: transmission of GSet and GCounter with respect
+// to delta-based BP+RR, on the tree and partial-mesh topologies. Expected
+// shape: classic delta ≈ state-based; BP suffices on the tree; RR drives
+// the mesh improvement; Scuttlebutt/op-based beat state-based for GSet but
+// lose for GCounter (they cannot compress increments under the join).
+func Fig7(cfg Config) *Table {
+	tree := cfg.tree(cfg.Nodes)
+	mesh := cfg.mesh(cfg.Nodes)
+	cases := []microCase{
+		{"gset/tree", tree, workload.GSetType{}, workload.GSetGen{}},
+		{"gset/mesh", mesh, workload.GSetType{}, workload.GSetGen{}},
+		{"gcounter/tree", tree, workload.GCounterType{}, workload.GCounterGen{}},
+		{"gcounter/mesh", mesh, workload.GCounterType{}, workload.GCounterGen{}},
+	}
+	return transmissionRatios(cfg, "fig7",
+		"transmission ratio vs delta-BP+RR (GSet, GCounter; tree, mesh)", cases)
+}
+
+// Fig8 reproduces Figure 8: transmission of GMap 10%, 30%, 60% and 100%
+// with respect to delta-based BP+RR, on the tree and mesh topologies.
+func Fig8(cfg Config) *Table {
+	tree := cfg.tree(cfg.Nodes)
+	mesh := cfg.mesh(cfg.Nodes)
+	var cases []microCase
+	for _, k := range []int{10, 30, 60, 100} {
+		gen := workload.GMapGen{K: k, TotalKeys: cfg.GMapKeys}
+		cases = append(cases,
+			microCase{labelK("tree", k), tree, workload.GMapType{}, gen},
+			microCase{labelK("mesh", k), mesh, workload.GMapType{}, gen},
+		)
+	}
+	return transmissionRatios(cfg, "fig8",
+		"transmission ratio vs delta-BP+RR (GMap 10/30/60/100%; tree, mesh)", cases)
+}
+
+func labelK(topo string, k int) string {
+	return "gmap" + itoa(k) + "/" + topo
+}

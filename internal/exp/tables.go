@@ -1,0 +1,56 @@
+package exp
+
+import (
+	"fmt"
+
+	"crdtsync/internal/retwis"
+)
+
+// TableI reproduces Table I: the micro-benchmark catalog — one row per
+// CRDT with its periodic update event and the measurement metric.
+func TableI() *Table {
+	return &Table{
+		ID:     "tab1",
+		Title:  "micro-benchmark description",
+		Header: []string{"type", "periodic event", "measurement"},
+		Rows: [][]string{
+			{"GCounter", "single increment", "number of entries in the map"},
+			{"GSet", "addition of unique element", "number of elements in the set"},
+			{"GMap K%", "change the value of K/N% keys", "number of entries in the map"},
+		},
+	}
+}
+
+// TableII reproduces Table II by measurement: it generates a Retwis
+// workload and reports, per operation, the mean number of CRDT updates
+// performed and the share of the workload. Expected: Follow = 1 update at
+// 15 %, Post Tweet = 1 + #Followers updates at 35 %, Timeline = 0 updates
+// at 50 %.
+func TableII(cfg Config) *Table {
+	gen := retwis.NewGen(cfg.RetwisUsers, cfg.RetwisOpsPerRound, 1.0, cfg.Seed)
+	// Generate the workload all nodes would produce.
+	for r := 0; r < cfg.RetwisRounds; r++ {
+		for n := 0; n < cfg.RetwisNodes; n++ {
+			gen.Ops(r, itoa(n), n, cfg.RetwisNodes)
+		}
+	}
+	s := gen.Stats()
+	total := float64(s.TotalOps())
+	pct := func(n int) string { return fmt.Sprintf("%.0f%%", 100*float64(n)/total) }
+	avg := func(updates, ops int) string {
+		if ops == 0 {
+			return "0"
+		}
+		return fmt.Sprintf("%.2f", float64(updates)/float64(ops))
+	}
+	return &Table{
+		ID:     "tab2",
+		Title:  "Retwis workload characterization (measured)",
+		Header: []string{"operation", "mean #updates", "workload %"},
+		Rows: [][]string{
+			{"Follow", avg(s.FollowUpdates, s.Follows), pct(s.Follows)},
+			{"Post Tweet", avg(s.PostUpdates, s.Posts), pct(s.Posts)},
+			{"Timeline", "0", pct(s.Timelines)},
+		},
+	}
+}

@@ -1,0 +1,88 @@
+package lattice_test
+
+import (
+	"strconv"
+	"testing"
+
+	"crdtsync/internal/lattice"
+)
+
+// bigSet builds an n-element set.
+func bigSet(n int) *lattice.Set {
+	s := lattice.NewSet()
+	for i := 0; i < n; i++ {
+		s.Add("element-" + strconv.Itoa(i))
+	}
+	return s
+}
+
+// bigMap builds an n-entry map of chains.
+func bigMap(n int) *lattice.Map {
+	m := lattice.NewMap()
+	for i := 0; i < n; i++ {
+		m.Set("key-"+strconv.Itoa(i), lattice.NewMaxInt(uint64(i+1)))
+	}
+	return m
+}
+
+func BenchmarkSetJoin(b *testing.B) {
+	for _, n := range []int{16, 256, 4096} {
+		b.Run(strconv.Itoa(n), func(b *testing.B) {
+			x, y := bigSet(n), bigSet(n/2)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				x.Join(y)
+			}
+		})
+	}
+}
+
+func BenchmarkSetMergeInPlace(b *testing.B) {
+	for _, n := range []int{16, 256, 4096} {
+		b.Run(strconv.Itoa(n), func(b *testing.B) {
+			y := bigSet(n / 2)
+			x := bigSet(n)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				x.Merge(y) // idempotent after first iteration
+			}
+		})
+	}
+}
+
+func BenchmarkSetLeq(b *testing.B) {
+	x, y := bigSet(1024), bigSet(2048)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x.Leq(y)
+	}
+}
+
+func BenchmarkMapJoin(b *testing.B) {
+	for _, n := range []int{16, 256, 4096} {
+		b.Run(strconv.Itoa(n), func(b *testing.B) {
+			x, y := bigMap(n), bigMap(n/2)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				x.Join(y)
+			}
+		})
+	}
+}
+
+func BenchmarkMapIrreducibles(b *testing.B) {
+	m := bigMap(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		m.Irreducibles(func(lattice.State) bool { count++; return true })
+	}
+}
+
+func BenchmarkSetClone(b *testing.B) {
+	s := bigSet(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Clone()
+	}
+}

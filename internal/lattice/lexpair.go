@@ -1,0 +1,134 @@
+package lattice
+
+import "fmt"
+
+// LexPair is the lexicographic product lattice C ⋉ A. The first component
+// must be a chain (total order) for the product to be distributive and have
+// unique irredundant decompositions (Appendix B, Table III of the paper);
+// this is the "single-writer principle" usage: an owner bumps the version
+// chain C to overwrite the second component with an arbitrary value.
+//
+// Join: ⟨c1,a1⟩ ⊔ ⟨c2,a2⟩ = ⟨c2,a2⟩ if c1 < c2, ⟨c1,a1⟩ if c2 < c1, and
+// ⟨c1, a1 ⊔ a2⟩ if c1 = c2.
+//
+// Its irredundant join decomposition follows Appendix C:
+// ⇓⟨c,a⟩ = ⇓c × ⇓a, specialized to a chain first component:
+// {⟨c, a'⟩ | a' ∈ ⇓a}, or {⟨c, ⊥⟩} when a is bottom and c is not.
+type LexPair struct {
+	// First is the version chain; its Leq must be a total order.
+	First State
+	// Second is the dominated value lattice.
+	Second State
+}
+
+// NewLexPair returns the lexicographic pair ⟨first, second⟩.
+func NewLexPair(first, second State) *LexPair {
+	if first == nil || second == nil {
+		panic("lattice: NewLexPair with nil component")
+	}
+	return &LexPair{First: first, Second: second}
+}
+
+// chainLess reports a < b using only Leq; valid because First is a chain.
+func chainLess(a, b State) bool { return a.Leq(b) && !b.Leq(a) }
+
+// Join returns the lexicographic join.
+func (p *LexPair) Join(other State) State {
+	o := mustLexPair("Join", p, other)
+	switch {
+	case chainLess(p.First, o.First):
+		return o.Clone()
+	case chainLess(o.First, p.First):
+		return p.Clone()
+	default: // equal first components
+		return &LexPair{First: p.First.Clone(), Second: p.Second.Join(o.Second)}
+	}
+}
+
+// Merge replaces the receiver with the lexicographic join in place.
+func (p *LexPair) Merge(other State) {
+	o := mustLexPair("Merge", p, other)
+	switch {
+	case chainLess(p.First, o.First):
+		p.First = o.First.Clone()
+		p.Second = o.Second.Clone()
+	case chainLess(o.First, p.First):
+		// receiver already dominates
+	default:
+		p.Second.Merge(o.Second)
+	}
+}
+
+// Leq reports the lexicographic order: first components decide, ties fall
+// through to the second components.
+func (p *LexPair) Leq(other State) bool {
+	o := mustLexPair("Leq", p, other)
+	if chainLess(p.First, o.First) {
+		return true
+	}
+	if chainLess(o.First, p.First) {
+		return false
+	}
+	return p.Second.Leq(o.Second)
+}
+
+// IsBottom reports whether both components are bottom.
+func (p *LexPair) IsBottom() bool { return p.First.IsBottom() && p.Second.IsBottom() }
+
+// Bottom returns ⟨⊥C, ⊥A⟩.
+func (p *LexPair) Bottom() State {
+	return &LexPair{First: p.First.Bottom(), Second: p.Second.Bottom()}
+}
+
+// Irreducibles yields ⟨c, a'⟩ for every irreducible a' of the second
+// component, or the single pair ⟨c, ⊥⟩ when the second component is bottom
+// but the first is not.
+func (p *LexPair) Irreducibles(yield func(State) bool) {
+	if p.IsBottom() {
+		return
+	}
+	if p.Second.IsBottom() {
+		yield(&LexPair{First: p.First.Clone(), Second: p.Second.Bottom()})
+		return
+	}
+	p.Second.Irreducibles(func(ia State) bool {
+		return yield(&LexPair{First: p.First.Clone(), Second: ia})
+	})
+}
+
+// Equal reports component-wise structural equality.
+func (p *LexPair) Equal(other State) bool {
+	o, ok := other.(*LexPair)
+	return ok && p.First.Equal(o.First) && p.Second.Equal(o.Second)
+}
+
+// Clone returns a deep copy.
+func (p *LexPair) Clone() State {
+	return &LexPair{First: p.First.Clone(), Second: p.Second.Clone()}
+}
+
+// Elements returns the element count of the second component, or 1 when only
+// the version chain is set: a lexicographic pair carries one logical value.
+func (p *LexPair) Elements() int {
+	if n := p.Second.Elements(); n > 0 {
+		return n
+	}
+	if !p.First.IsBottom() {
+		return 1
+	}
+	return 0
+}
+
+// SizeBytes returns the sum of the component sizes.
+func (p *LexPair) SizeBytes() int { return p.First.SizeBytes() + p.Second.SizeBytes() }
+
+// String renders the pair.
+func (p *LexPair) String() string { return fmt.Sprintf("⟨%s⋉%s⟩", p.First, p.Second) }
+
+func mustLexPair(op string, a State, b State) *LexPair {
+	o, ok := b.(*LexPair)
+	if !ok {
+		panic(mismatch(op, a, b))
+	}
+	return o
+}

@@ -1,0 +1,200 @@
+package lattice
+
+import (
+	"sort"
+	"strings"
+)
+
+// Map is the finite-function lattice U ↪ A from string keys to a value
+// lattice A, ordered pointwise with join computed key-wise. Absent keys are
+// implicitly bottom, and the invariant "no stored value is bottom" is
+// maintained by every operation, so two equal maps are structurally equal.
+//
+// Its irredundant join decomposition follows Appendix C of the paper:
+// ⇓f = {{k ↦ v} | k ∈ dom(f) ∧ v ∈ ⇓f(k)}.
+type Map struct {
+	entries map[string]State
+}
+
+// NewMap returns an empty map lattice.
+func NewMap() *Map { return &Map{entries: make(map[string]State)} }
+
+// NewMapEntry returns a map holding the single entry {k ↦ v}; a bottom v
+// yields the empty map.
+func NewMapEntry(k string, v State) *Map {
+	m := NewMap()
+	m.Set(k, v)
+	return m
+}
+
+// Get returns the value stored at k, or nil if k is absent (bottom).
+func (m *Map) Get(k string) State { return m.entries[k] }
+
+// Set stores v at key k in place, dropping the entry when v is bottom.
+// The value is stored as given (not cloned); callers retaining v must
+// clone it themselves.
+func (m *Map) Set(k string, v State) {
+	if m.entries == nil {
+		m.entries = make(map[string]State)
+	}
+	if v == nil || v.IsBottom() {
+		delete(m.entries, k)
+		return
+	}
+	m.entries[k] = v
+}
+
+// Len returns the number of present (non-bottom) keys.
+func (m *Map) Len() int { return len(m.entries) }
+
+// Keys returns the present keys in sorted order.
+func (m *Map) Keys() []string {
+	out := make([]string, 0, len(m.entries))
+	for k := range m.entries {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Range calls fn for every entry until fn returns false. Iteration order is
+// unspecified.
+func (m *Map) Range(fn func(k string, v State) bool) {
+	for k, v := range m.entries {
+		if !fn(k, v) {
+			return
+		}
+	}
+}
+
+// Join returns the key-wise join of the two maps.
+func (m *Map) Join(other State) State {
+	o := mustMap("Join", m, other)
+	j := &Map{entries: make(map[string]State, len(m.entries)+len(o.entries))}
+	for k, v := range m.entries {
+		j.entries[k] = v.Clone()
+	}
+	for k, v := range o.entries {
+		if cur, ok := j.entries[k]; ok {
+			cur.Merge(v)
+		} else {
+			j.entries[k] = v.Clone()
+		}
+	}
+	return j
+}
+
+// Merge joins every entry of other into the receiver in place.
+func (m *Map) Merge(other State) {
+	o := mustMap("Merge", m, other)
+	if m.entries == nil {
+		m.entries = make(map[string]State, len(o.entries))
+	}
+	for k, v := range o.entries {
+		if cur, ok := m.entries[k]; ok {
+			cur.Merge(v)
+		} else {
+			m.entries[k] = v.Clone()
+		}
+	}
+}
+
+// Leq reports the pointwise order: every entry of m must be ⊑ the
+// corresponding entry of other.
+func (m *Map) Leq(other State) bool {
+	o := mustMap("Leq", m, other)
+	for k, v := range m.entries {
+		ov, ok := o.entries[k]
+		if !ok || !v.Leq(ov) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsBottom reports whether the map has no entries.
+func (m *Map) IsBottom() bool { return len(m.entries) == 0 }
+
+// Bottom returns a fresh empty map.
+func (m *Map) Bottom() State { return NewMap() }
+
+// Irreducibles yields singleton maps {k ↦ v} for every key k and every
+// irreducible v of the stored value.
+func (m *Map) Irreducibles(yield func(State) bool) {
+	for k, v := range m.entries {
+		stop := false
+		v.Irreducibles(func(iv State) bool {
+			e := &Map{entries: map[string]State{k: iv}}
+			if !yield(e) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if stop {
+			return
+		}
+	}
+}
+
+// Equal reports key-wise structural equality.
+func (m *Map) Equal(other State) bool {
+	o, ok := other.(*Map)
+	if !ok || len(m.entries) != len(o.entries) {
+		return false
+	}
+	for k, v := range m.entries {
+		ov, present := o.entries[k]
+		if !present || !v.Equal(ov) {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of the map.
+func (m *Map) Clone() State {
+	c := &Map{entries: make(map[string]State, len(m.entries))}
+	for k, v := range m.entries {
+		c.entries[k] = v.Clone()
+	}
+	return c
+}
+
+// Elements returns the total number of leaf entries: the sum of Elements()
+// over all stored values. For maps of chains this is the number of map
+// entries, matching the paper's GCounter/GMap metric.
+func (m *Map) Elements() int {
+	n := 0
+	for _, v := range m.entries {
+		n += v.Elements()
+	}
+	return n
+}
+
+// SizeBytes returns the sum of key lengths plus stored value sizes.
+func (m *Map) SizeBytes() int {
+	n := 0
+	for k, v := range m.entries {
+		n += len(k) + v.SizeBytes()
+	}
+	return n
+}
+
+// String renders the map in sorted key order.
+func (m *Map) String() string {
+	keys := m.Keys()
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, k+"→"+m.entries[k].String())
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func mustMap(op string, a State, b State) *Map {
+	o, ok := b.(*Map)
+	if !ok {
+		panic(mismatch(op, a, b))
+	}
+	return o
+}

@@ -1,0 +1,174 @@
+package lattice
+
+import (
+	"sort"
+	"strings"
+)
+
+// ElemOrder is a partial order on opaque string-encoded elements:
+// Leq(a, b) reports a ⊑ b. It must be reflexive, transitive, and
+// antisymmetric. Instances are compared by identity only, so all states of
+// one M(P) lattice must share the same ElemOrder value.
+type ElemOrder func(a, b string) bool
+
+// Maximals is the lattice M(P) of antichains (sets of pairwise-incomparable
+// elements) of a partial order P, ordered by: s ⊑ t iff every element of s
+// is below-or-equal some element of t. Join keeps the maximal elements of
+// the union. Bottom is the empty antichain.
+//
+// Its irredundant join decomposition is the set of singleton antichains
+// ⇓s = {{e} | e ∈ s} (Appendix C of the paper).
+type Maximals struct {
+	order ElemOrder
+	elems map[string]struct{}
+}
+
+// NewMaximals returns the antichain of the maximal elements among elems
+// under the given partial order.
+func NewMaximals(order ElemOrder, elems ...string) *Maximals {
+	m := &Maximals{order: order, elems: make(map[string]struct{}, len(elems))}
+	for _, e := range elems {
+		m.insert(e)
+	}
+	return m
+}
+
+// insert adds e, dropping it if dominated and evicting elements e dominates.
+func (m *Maximals) insert(e string) {
+	for cur := range m.elems {
+		if cur == e {
+			return
+		}
+		if m.order(e, cur) {
+			return // e is dominated; antichain unchanged
+		}
+	}
+	for cur := range m.elems {
+		if m.order(cur, e) {
+			delete(m.elems, cur)
+		}
+	}
+	m.elems[e] = struct{}{}
+}
+
+// Contains reports whether e is one of the maximal elements.
+func (m *Maximals) Contains(e string) bool {
+	_, ok := m.elems[e]
+	return ok
+}
+
+// Values returns the maximal elements in sorted order.
+func (m *Maximals) Values() []string {
+	out := make([]string, 0, len(m.elems))
+	for e := range m.elems {
+		out = append(out, e)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Join returns the maximals of the union of the two antichains.
+func (m *Maximals) Join(other State) State {
+	o := mustMaximals("Join", m, other)
+	j := NewMaximals(m.order)
+	for e := range m.elems {
+		j.insert(e)
+	}
+	for e := range o.elems {
+		j.insert(e)
+	}
+	return j
+}
+
+// Merge inserts all elements of other into the receiver.
+func (m *Maximals) Merge(other State) {
+	o := mustMaximals("Merge", m, other)
+	if m.elems == nil {
+		m.elems = make(map[string]struct{}, len(o.elems))
+	}
+	for e := range o.elems {
+		m.insert(e)
+	}
+}
+
+// Leq reports the antichain order: every element of m is ⊑ some element of
+// other.
+func (m *Maximals) Leq(other State) bool {
+	o := mustMaximals("Leq", m, other)
+	for e := range m.elems {
+		dominated := false
+		for f := range o.elems {
+			if e == f || m.order(e, f) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			return false
+		}
+	}
+	return true
+}
+
+// IsBottom reports whether the antichain is empty.
+func (m *Maximals) IsBottom() bool { return len(m.elems) == 0 }
+
+// Bottom returns a fresh empty antichain under the same order.
+func (m *Maximals) Bottom() State { return NewMaximals(m.order) }
+
+// Irreducibles yields one singleton antichain per maximal element.
+func (m *Maximals) Irreducibles(yield func(State) bool) {
+	for e := range m.elems {
+		if !yield(NewMaximals(m.order, e)) {
+			return
+		}
+	}
+}
+
+// Equal reports whether both antichains hold the same elements.
+func (m *Maximals) Equal(other State) bool {
+	o, ok := other.(*Maximals)
+	if !ok || len(m.elems) != len(o.elems) {
+		return false
+	}
+	for e := range m.elems {
+		if _, present := o.elems[e]; !present {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy sharing the element order.
+func (m *Maximals) Clone() State {
+	c := &Maximals{order: m.order, elems: make(map[string]struct{}, len(m.elems))}
+	for e := range m.elems {
+		c.elems[e] = struct{}{}
+	}
+	return c
+}
+
+// Elements returns the number of maximal elements.
+func (m *Maximals) Elements() int { return len(m.elems) }
+
+// SizeBytes returns the sum of the element byte lengths.
+func (m *Maximals) SizeBytes() int {
+	n := 0
+	for e := range m.elems {
+		n += len(e)
+	}
+	return n
+}
+
+// String renders the antichain in sorted order.
+func (m *Maximals) String() string {
+	return "⌈" + strings.Join(m.Values(), ",") + "⌉"
+}
+
+func mustMaximals(op string, a State, b State) *Maximals {
+	o, ok := b.(*Maximals)
+	if !ok {
+		panic(mismatch(op, a, b))
+	}
+	return o
+}

@@ -1,0 +1,90 @@
+package lattice
+
+import "fmt"
+
+// Pair is the cartesian product lattice A × B, ordered component-wise with
+// component-wise join. Bottom is ⟨⊥A, ⊥B⟩.
+//
+// Its irredundant join decomposition follows Appendix C of the paper:
+// ⇓⟨a, b⟩ = ⇓a × {⊥} ∪ {⊥} × ⇓b.
+type Pair struct {
+	A, B State
+}
+
+// NewPair returns the pair ⟨a, b⟩. Both components must be non-nil.
+func NewPair(a, b State) *Pair {
+	if a == nil || b == nil {
+		panic("lattice: NewPair with nil component")
+	}
+	return &Pair{A: a, B: b}
+}
+
+// Join returns the component-wise join.
+func (p *Pair) Join(other State) State {
+	o := mustPair("Join", p, other)
+	return &Pair{A: p.A.Join(o.A), B: p.B.Join(o.B)}
+}
+
+// Merge joins both components in place.
+func (p *Pair) Merge(other State) {
+	o := mustPair("Merge", p, other)
+	p.A.Merge(o.A)
+	p.B.Merge(o.B)
+}
+
+// Leq reports the component-wise order.
+func (p *Pair) Leq(other State) bool {
+	o := mustPair("Leq", p, other)
+	return p.A.Leq(o.A) && p.B.Leq(o.B)
+}
+
+// IsBottom reports whether both components are bottom.
+func (p *Pair) IsBottom() bool { return p.A.IsBottom() && p.B.IsBottom() }
+
+// Bottom returns ⟨⊥A, ⊥B⟩ built from the component bottoms.
+func (p *Pair) Bottom() State { return &Pair{A: p.A.Bottom(), B: p.B.Bottom()} }
+
+// Irreducibles yields ⟨a', ⊥⟩ for every irreducible a' of the first
+// component, then ⟨⊥, b'⟩ for every irreducible b' of the second.
+func (p *Pair) Irreducibles(yield func(State) bool) {
+	stop := false
+	p.A.Irreducibles(func(ia State) bool {
+		if !yield(&Pair{A: ia, B: p.B.Bottom()}) {
+			stop = true
+			return false
+		}
+		return true
+	})
+	if stop {
+		return
+	}
+	p.B.Irreducibles(func(ib State) bool {
+		return yield(&Pair{A: p.A.Bottom(), B: ib})
+	})
+}
+
+// Equal reports component-wise structural equality.
+func (p *Pair) Equal(other State) bool {
+	o, ok := other.(*Pair)
+	return ok && p.A.Equal(o.A) && p.B.Equal(o.B)
+}
+
+// Clone returns a deep copy of the pair.
+func (p *Pair) Clone() State { return &Pair{A: p.A.Clone(), B: p.B.Clone()} }
+
+// Elements returns the sum of the component element counts.
+func (p *Pair) Elements() int { return p.A.Elements() + p.B.Elements() }
+
+// SizeBytes returns the sum of the component sizes.
+func (p *Pair) SizeBytes() int { return p.A.SizeBytes() + p.B.SizeBytes() }
+
+// String renders the pair.
+func (p *Pair) String() string { return fmt.Sprintf("⟨%s,%s⟩", p.A, p.B) }
+
+func mustPair(op string, a State, b State) *Pair {
+	o, ok := b.(*Pair)
+	if !ok {
+		panic(mismatch(op, a, b))
+	}
+	return o
+}

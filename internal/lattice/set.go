@@ -1,0 +1,152 @@
+package lattice
+
+import (
+	"sort"
+	"strings"
+)
+
+// Set is the powerset lattice P(U) over string elements, ordered by
+// inclusion with join = union. It is the lattice state of a grow-only set.
+// Its irredundant join decomposition is the set of singletons
+// ⇓s = {{e} | e ∈ s} (Appendix C of the paper).
+type Set struct {
+	elems map[string]struct{}
+}
+
+// NewSet returns a set containing the given elements.
+func NewSet(elems ...string) *Set {
+	s := &Set{elems: make(map[string]struct{}, len(elems))}
+	for _, e := range elems {
+		s.elems[e] = struct{}{}
+	}
+	return s
+}
+
+// Contains reports whether e is in the set.
+func (s *Set) Contains(e string) bool {
+	_, ok := s.elems[e]
+	return ok
+}
+
+// Add inserts e into the set in place. It is the standard (non-delta)
+// mutator; delta mutators live in package crdt.
+func (s *Set) Add(e string) {
+	if s.elems == nil {
+		s.elems = make(map[string]struct{})
+	}
+	s.elems[e] = struct{}{}
+}
+
+// Len returns the number of elements.
+func (s *Set) Len() int { return len(s.elems) }
+
+// Values returns the elements in sorted order.
+func (s *Set) Values() []string {
+	out := make([]string, 0, len(s.elems))
+	for e := range s.elems {
+		out = append(out, e)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Join returns the union of the two sets.
+func (s *Set) Join(other State) State {
+	o := mustSet("Join", s, other)
+	j := &Set{elems: make(map[string]struct{}, len(s.elems)+len(o.elems))}
+	for e := range s.elems {
+		j.elems[e] = struct{}{}
+	}
+	for e := range o.elems {
+		j.elems[e] = struct{}{}
+	}
+	return j
+}
+
+// Merge adds all elements of other to the receiver.
+func (s *Set) Merge(other State) {
+	o := mustSet("Merge", s, other)
+	if s.elems == nil {
+		s.elems = make(map[string]struct{}, len(o.elems))
+	}
+	for e := range o.elems {
+		s.elems[e] = struct{}{}
+	}
+}
+
+// Leq reports subset inclusion.
+func (s *Set) Leq(other State) bool {
+	o := mustSet("Leq", s, other)
+	if len(s.elems) > len(o.elems) {
+		return false
+	}
+	for e := range s.elems {
+		if _, ok := o.elems[e]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// IsBottom reports whether the set is empty.
+func (s *Set) IsBottom() bool { return len(s.elems) == 0 }
+
+// Bottom returns a fresh empty set.
+func (s *Set) Bottom() State { return NewSet() }
+
+// Irreducibles yields one singleton set per element.
+func (s *Set) Irreducibles(yield func(State) bool) {
+	for e := range s.elems {
+		if !yield(NewSet(e)) {
+			return
+		}
+	}
+}
+
+// Equal reports whether both sets hold exactly the same elements.
+func (s *Set) Equal(other State) bool {
+	o, ok := other.(*Set)
+	if !ok || len(s.elems) != len(o.elems) {
+		return false
+	}
+	for e := range s.elems {
+		if _, present := o.elems[e]; !present {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of the set.
+func (s *Set) Clone() State {
+	c := &Set{elems: make(map[string]struct{}, len(s.elems))}
+	for e := range s.elems {
+		c.elems[e] = struct{}{}
+	}
+	return c
+}
+
+// Elements returns the number of set elements (the paper's GSet metric).
+func (s *Set) Elements() int { return len(s.elems) }
+
+// SizeBytes returns the sum of the element byte lengths.
+func (s *Set) SizeBytes() int {
+	n := 0
+	for e := range s.elems {
+		n += len(e)
+	}
+	return n
+}
+
+// String renders the set in sorted order.
+func (s *Set) String() string {
+	return "{" + strings.Join(s.Values(), ",") + "}"
+}
+
+func mustSet(op string, a State, b State) *Set {
+	o, ok := b.(*Set)
+	if !ok {
+		panic(mismatch(op, a, b))
+	}
+	return o
+}

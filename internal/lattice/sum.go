@@ -1,0 +1,135 @@
+package lattice
+
+import "fmt"
+
+// Sum is the linear sum lattice A ⊕ B: a copy of A below a copy of B, i.e.
+// Left a ⊑ Right b for every a ∈ A, b ∈ B. Bottom is Left ⊥A. Joining a
+// Left with a Right yields the Right (every Right dominates every Left).
+//
+// Its irredundant join decomposition follows Appendix C of the paper:
+// ⇓(Left a)  = {Left v | v ∈ ⇓a}
+// ⇓(Right b) = {Right v | v ∈ ⇓b}, with Right ⊥B itself join-irreducible.
+type Sum struct {
+	// IsRight selects the active side.
+	IsRight bool
+	// Val is the active side's value.
+	Val State
+	// protoL and protoR are bottom prototypes used to rebuild either side.
+	protoL, protoR State
+}
+
+// NewSumLeft returns Left(val). protoRight provides the B-side bottom shape.
+func NewSumLeft(val, protoRight State) *Sum {
+	return &Sum{IsRight: false, Val: val, protoL: val.Bottom(), protoR: protoRight.Bottom()}
+}
+
+// NewSumRight returns Right(val). protoLeft provides the A-side bottom shape.
+func NewSumRight(val, protoLeft State) *Sum {
+	return &Sum{IsRight: true, Val: val, protoL: protoLeft.Bottom(), protoR: val.Bottom()}
+}
+
+// Join returns the linear-sum join.
+func (s *Sum) Join(other State) State {
+	o := mustSum("Join", s, other)
+	switch {
+	case s.IsRight && o.IsRight:
+		return &Sum{IsRight: true, Val: s.Val.Join(o.Val), protoL: s.protoL, protoR: s.protoR}
+	case s.IsRight:
+		return s.Clone()
+	case o.IsRight:
+		return o.Clone()
+	default:
+		return &Sum{IsRight: false, Val: s.Val.Join(o.Val), protoL: s.protoL, protoR: s.protoR}
+	}
+}
+
+// Merge replaces the receiver with the join in place.
+func (s *Sum) Merge(other State) {
+	o := mustSum("Merge", s, other)
+	switch {
+	case s.IsRight && o.IsRight, !s.IsRight && !o.IsRight:
+		s.Val.Merge(o.Val)
+	case o.IsRight: // receiver is Left, other is Right: other wins
+		s.IsRight = true
+		s.Val = o.Val.Clone()
+	}
+	// receiver Right, other Left: nothing to do.
+}
+
+// Leq reports the linear-sum order.
+func (s *Sum) Leq(other State) bool {
+	o := mustSum("Leq", s, other)
+	switch {
+	case !s.IsRight && o.IsRight:
+		return true
+	case s.IsRight && !o.IsRight:
+		return false
+	default:
+		return s.Val.Leq(o.Val)
+	}
+}
+
+// IsBottom reports whether the value is Left ⊥A.
+func (s *Sum) IsBottom() bool { return !s.IsRight && s.Val.IsBottom() }
+
+// Bottom returns Left ⊥A.
+func (s *Sum) Bottom() State {
+	return &Sum{IsRight: false, Val: s.protoL.Bottom(), protoL: s.protoL, protoR: s.protoR}
+}
+
+// Irreducibles yields the tagged irreducibles of the active side. Right ⊥B
+// is itself join-irreducible and yielded as such.
+func (s *Sum) Irreducibles(yield func(State) bool) {
+	if s.IsBottom() {
+		return
+	}
+	if s.IsRight && s.Val.IsBottom() {
+		yield(&Sum{IsRight: true, Val: s.protoR.Bottom(), protoL: s.protoL, protoR: s.protoR})
+		return
+	}
+	s.Val.Irreducibles(func(iv State) bool {
+		return yield(&Sum{IsRight: s.IsRight, Val: iv, protoL: s.protoL, protoR: s.protoR})
+	})
+}
+
+// Equal reports same side and structurally equal value.
+func (s *Sum) Equal(other State) bool {
+	o, ok := other.(*Sum)
+	return ok && s.IsRight == o.IsRight && s.Val.Equal(o.Val)
+}
+
+// Clone returns a deep copy.
+func (s *Sum) Clone() State {
+	return &Sum{IsRight: s.IsRight, Val: s.Val.Clone(), protoL: s.protoL, protoR: s.protoR}
+}
+
+// Elements returns the element count of the active value, at least 1 for a
+// non-bottom Right (Right ⊥B carries the information "we are on the right").
+func (s *Sum) Elements() int {
+	if n := s.Val.Elements(); n > 0 {
+		return n
+	}
+	if s.IsRight {
+		return 1
+	}
+	return 0
+}
+
+// SizeBytes returns the active value size plus one tag byte.
+func (s *Sum) SizeBytes() int { return 1 + s.Val.SizeBytes() }
+
+// String renders the tagged value.
+func (s *Sum) String() string {
+	if s.IsRight {
+		return fmt.Sprintf("Right(%s)", s.Val)
+	}
+	return fmt.Sprintf("Left(%s)", s.Val)
+}
+
+func mustSum(op string, a State, b State) *Sum {
+	o, ok := b.(*Sum)
+	if !ok {
+		panic(mismatch(op, a, b))
+	}
+	return o
+}

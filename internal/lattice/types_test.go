@@ -1,0 +1,185 @@
+package lattice_test
+
+import (
+	"testing"
+
+	"crdtsync/internal/lattice"
+)
+
+func TestMaxIntBasics(t *testing.T) {
+	a := lattice.NewMaxInt(3)
+	b := lattice.NewMaxInt(5)
+	if got := a.Join(b).(*lattice.MaxInt).V; got != 5 {
+		t.Errorf("3 ⊔ 5 = %d, want 5", got)
+	}
+	if !a.Leq(b) || b.Leq(a) {
+		t.Error("chain order broken for 3, 5")
+	}
+	if a.String() != "3" {
+		t.Errorf("String = %q", a.String())
+	}
+	d := lattice.Decompose(b)
+	if len(d) != 1 || !d[0].Equal(b) {
+		t.Errorf("⇓5 = %v, want {5}", d)
+	}
+}
+
+func TestFlagBasics(t *testing.T) {
+	f := lattice.NewFlag(false)
+	tr := lattice.NewFlag(true)
+	if !f.IsBottom() || tr.IsBottom() {
+		t.Error("flag bottom wrong")
+	}
+	if got := f.Join(tr).(*lattice.Flag); !got.V {
+		t.Error("false ⊔ true should be true")
+	}
+	if tr.Elements() != 1 || f.Elements() != 0 {
+		t.Error("flag elements wrong")
+	}
+}
+
+func TestSetBasics(t *testing.T) {
+	s := lattice.NewSet("a", "b")
+	if !s.Contains("a") || s.Contains("c") {
+		t.Error("membership wrong")
+	}
+	if got := s.Values(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("Values = %v", got)
+	}
+	j := s.Join(lattice.NewSet("b", "c")).(*lattice.Set)
+	if j.Len() != 3 {
+		t.Errorf("union size = %d, want 3", j.Len())
+	}
+	if s.String() != "{a,b}" {
+		t.Errorf("String = %q", s.String())
+	}
+	// Example from the paper: ⇓{a,b,c} = {{a},{b},{c}} (S4 in Example 2).
+	d := lattice.Decompose(lattice.NewSet("a", "b", "c"))
+	if len(d) != 3 {
+		t.Errorf("⇓{a,b,c} has %d members, want 3", len(d))
+	}
+}
+
+func TestMapBasics(t *testing.T) {
+	m := lattice.NewMap()
+	m.Set("k1", lattice.NewMaxInt(2))
+	m.Set("k2", lattice.NewMaxInt(7))
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	if got := m.Get("k1").(*lattice.MaxInt).V; got != 2 {
+		t.Errorf("Get k1 = %d", got)
+	}
+	// Setting bottom removes the entry (no-bottom-values invariant).
+	m.Set("k1", lattice.NewMaxInt(0))
+	if m.Get("k1") != nil {
+		t.Error("bottom value should remove entry")
+	}
+	// Join takes entry-wise max.
+	other := lattice.NewMapEntry("k2", lattice.NewMaxInt(3))
+	j := m.Join(other).(*lattice.Map)
+	if got := j.Get("k2").(*lattice.MaxInt).V; got != 7 {
+		t.Errorf("k2 after join = %d, want 7", got)
+	}
+	// Decomposition: one entry per key per value-irreducible.
+	d := lattice.Decompose(j)
+	if len(d) != 1 {
+		t.Errorf("⇓%v has %d members, want 1", j, len(d))
+	}
+	// Range visits all entries.
+	count := 0
+	j.Range(func(string, lattice.State) bool { count++; return true })
+	if count != j.Len() {
+		t.Errorf("Range visited %d, want %d", count, j.Len())
+	}
+}
+
+func TestPairDecomposition(t *testing.T) {
+	p := lattice.NewPair(lattice.NewSet("a", "b"), lattice.NewMaxInt(4))
+	d := lattice.Decompose(p)
+	// ⇓⟨{a,b},4⟩ = {⟨{a},⊥⟩, ⟨{b},⊥⟩, ⟨⊥,4⟩}.
+	if len(d) != 3 {
+		t.Fatalf("pair decomposition size = %d, want 3", len(d))
+	}
+	for _, y := range d {
+		py := y.(*lattice.Pair)
+		if !py.A.IsBottom() && !py.B.IsBottom() {
+			t.Errorf("pair irreducible %v has both components non-bottom", y)
+		}
+	}
+}
+
+func TestLexPairOrder(t *testing.T) {
+	lo := lattice.NewLexPair(lattice.NewMaxInt(1), lattice.NewSet("x"))
+	hi := lattice.NewLexPair(lattice.NewMaxInt(2), lattice.NewSet())
+	// Higher version dominates regardless of second component.
+	if !lo.Leq(hi) || hi.Leq(lo) {
+		t.Error("lex order: version should dominate")
+	}
+	j := lo.Join(hi).(*lattice.LexPair)
+	if !j.Equal(hi) {
+		t.Errorf("join = %v, want %v (arbitrary overwrite via version bump)", j, hi)
+	}
+	// Equal versions join the second components.
+	a := lattice.NewLexPair(lattice.NewMaxInt(2), lattice.NewSet("p"))
+	b := lattice.NewLexPair(lattice.NewMaxInt(2), lattice.NewSet("q"))
+	jj := a.Join(b).(*lattice.LexPair)
+	if jj.Second.Elements() != 2 {
+		t.Errorf("equal-version lex join should merge seconds: %v", jj)
+	}
+}
+
+func TestLexPairDecomposeVersionOnly(t *testing.T) {
+	// ⟨c, ⊥⟩ is itself join-irreducible.
+	p := lattice.NewLexPair(lattice.NewMaxInt(3), lattice.NewSet())
+	d := lattice.Decompose(p)
+	if len(d) != 1 || !d[0].Equal(p) {
+		t.Errorf("⇓⟨3,⊥⟩ = %v, want itself", d)
+	}
+}
+
+func TestSumOrder(t *testing.T) {
+	l := lattice.NewSumLeft(lattice.NewSet("a"), lattice.NewMaxInt(0))
+	r := lattice.NewSumRight(lattice.NewMaxInt(0), lattice.NewSet())
+	// Every Left is below every Right, including Right ⊥.
+	if !l.Leq(r) || r.Leq(l) {
+		t.Error("linear sum order broken")
+	}
+	if j := l.Join(r); !j.Equal(r) {
+		t.Errorf("Left ⊔ Right = %v, want the Right", j)
+	}
+	// Right ⊥ is join-irreducible.
+	d := lattice.Decompose(r)
+	if len(d) != 1 || !d[0].Equal(r) {
+		t.Errorf("⇓Right(⊥) = %v, want itself", d)
+	}
+}
+
+func TestMaximalsAntichain(t *testing.T) {
+	m := lattice.NewMaximals(prefixOrder, "x", "xa", "y")
+	// "x" is a prefix of "xa", so only "xa" and "y" remain maximal.
+	if m.Elements() != 2 || !m.Contains("xa") || !m.Contains("y") || m.Contains("x") {
+		t.Errorf("maximals = %v, want {xa,y}", m.Values())
+	}
+	// Joining a dominated element is a no-op.
+	j := m.Join(lattice.NewMaximals(prefixOrder, "x")).(*lattice.Maximals)
+	if !j.Equal(m) {
+		t.Errorf("joining dominated element changed antichain: %v", j.Values())
+	}
+	// Joining a dominating element evicts.
+	j2 := m.Join(lattice.NewMaximals(prefixOrder, "xab")).(*lattice.Maximals)
+	if j2.Contains("xa") || !j2.Contains("xab") {
+		t.Errorf("dominating element should evict: %v", j2.Values())
+	}
+}
+
+func TestMaximalsLeq(t *testing.T) {
+	small := lattice.NewMaximals(prefixOrder, "x")
+	big := lattice.NewMaximals(prefixOrder, "xab", "y")
+	if !small.Leq(big) {
+		t.Error("{x} should be ⊑ {xab,y} (x below xab)")
+	}
+	if big.Leq(small) {
+		t.Error("{xab,y} should not be ⊑ {x}")
+	}
+}

@@ -1,0 +1,203 @@
+// Package metrics provides the measurement harness of the reproduction:
+// per-node transmission accounting (lattice elements, payload bytes, and
+// synchronization metadata bytes), periodic memory snapshots, and CPU
+// processing-time accumulation, matching what the paper measures in §V.
+package metrics
+
+import (
+	"sort"
+	"time"
+)
+
+// Transmission accumulates what a node has sent over the network.
+type Transmission struct {
+	// Messages is the number of messages sent.
+	Messages int
+	// Elements is the number of lattice elements shipped (the paper's
+	// micro-benchmark metric: set elements or map entries).
+	Elements int
+	// PayloadBytes is the byte size of the CRDT payload shipped.
+	PayloadBytes int
+	// MetadataBytes is the byte size of synchronization metadata shipped
+	// (sequence numbers, digests, vectors).
+	MetadataBytes int
+}
+
+// Add accumulates another transmission record.
+func (t *Transmission) Add(o Transmission) {
+	t.Messages += o.Messages
+	t.Elements += o.Elements
+	t.PayloadBytes += o.PayloadBytes
+	t.MetadataBytes += o.MetadataBytes
+}
+
+// TotalBytes returns payload plus metadata bytes.
+func (t Transmission) TotalBytes() int { return t.PayloadBytes + t.MetadataBytes }
+
+// Memory is a snapshot of a node's memory footprint.
+type Memory struct {
+	// CRDTBytes is the size of the local lattice state.
+	CRDTBytes int
+	// BufferBytes is the size of outbound buffers (δ-buffer, key-delta
+	// store, op transmission buffer).
+	BufferBytes int
+	// MetadataBytes is the size of synchronization metadata kept resident
+	// (vectors, seen matrices, sequence counters).
+	MetadataBytes int
+}
+
+// Total returns the full footprint.
+func (m Memory) Total() int { return m.CRDTBytes + m.BufferBytes + m.MetadataBytes }
+
+// SyncOverhead returns the footprint excluding the CRDT state itself, i.e.
+// the memory required only for synchronization.
+func (m Memory) SyncOverhead() int { return m.BufferBytes + m.MetadataBytes }
+
+// NodeStats aggregates the full history of one node.
+type NodeStats struct {
+	Sent Transmission
+	// memSamples holds one memory snapshot per sampled round.
+	memSamples []Memory
+	// CPU is the accumulated processing time across update, sync and
+	// receive handling.
+	CPU time.Duration
+}
+
+// RecordSend accumulates an outbound message.
+func (s *NodeStats) RecordSend(t Transmission) { s.Sent.Add(t) }
+
+// RecordMemory appends a memory snapshot.
+func (s *NodeStats) RecordMemory(m Memory) { s.memSamples = append(s.memSamples, m) }
+
+// RecordCPU accumulates processing time.
+func (s *NodeStats) RecordCPU(d time.Duration) { s.CPU += d }
+
+// MemorySamples returns the recorded snapshots.
+func (s *NodeStats) MemorySamples() []Memory { return s.memSamples }
+
+// AvgMemoryTotal returns the average total footprint across snapshots.
+func (s *NodeStats) AvgMemoryTotal() float64 {
+	if len(s.memSamples) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, m := range s.memSamples {
+		sum += m.Total()
+	}
+	return float64(sum) / float64(len(s.memSamples))
+}
+
+// MaxMemoryTotal returns the peak total footprint.
+func (s *NodeStats) MaxMemoryTotal() int {
+	max := 0
+	for _, m := range s.memSamples {
+		if t := m.Total(); t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// Collector gathers per-node statistics plus a per-round transmission
+// series for time-series plots (Figure 1).
+type Collector struct {
+	nodes map[string]*NodeStats
+	// roundElements[r] is the total number of elements sent in round r
+	// across all nodes.
+	roundElements []int
+	roundBytes    []int
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{nodes: make(map[string]*NodeStats)}
+}
+
+// Node returns (allocating if needed) the stats of a node.
+func (c *Collector) Node(id string) *NodeStats {
+	s, ok := c.nodes[id]
+	if !ok {
+		s = &NodeStats{}
+		c.nodes[id] = s
+	}
+	return s
+}
+
+// NodeIDs returns the known node ids in sorted order.
+func (c *Collector) NodeIDs() []string {
+	out := make([]string, 0, len(c.nodes))
+	for id := range c.nodes {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RecordRoundSend accumulates a message into both the per-node stats and
+// the per-round series for the given round index.
+func (c *Collector) RecordRoundSend(round int, node string, t Transmission) {
+	c.Node(node).RecordSend(t)
+	for len(c.roundElements) <= round {
+		c.roundElements = append(c.roundElements, 0)
+		c.roundBytes = append(c.roundBytes, 0)
+	}
+	c.roundElements[round] += t.Elements
+	c.roundBytes[round] += t.TotalBytes()
+}
+
+// RoundElements returns the per-round total elements series.
+func (c *Collector) RoundElements() []int { return c.roundElements }
+
+// RoundBytes returns the per-round total bytes series.
+func (c *Collector) RoundBytes() []int { return c.roundBytes }
+
+// TotalSent sums transmission over all nodes.
+func (c *Collector) TotalSent() Transmission {
+	var t Transmission
+	for _, s := range c.nodes {
+		t.Add(s.Sent)
+	}
+	return t
+}
+
+// TotalCPU sums processing time over all nodes.
+func (c *Collector) TotalCPU() time.Duration {
+	var d time.Duration
+	for _, s := range c.nodes {
+		d += s.CPU
+	}
+	return d
+}
+
+// AvgMemoryPerNode returns the mean over nodes of each node's average
+// total memory footprint.
+func (c *Collector) AvgMemoryPerNode() float64 {
+	if len(c.nodes) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, s := range c.nodes {
+		sum += s.AvgMemoryTotal()
+	}
+	return sum / float64(len(c.nodes))
+}
+
+// AvgSyncMemoryPerNode returns the mean over nodes of the average
+// synchronization-only footprint (buffers plus metadata).
+func (c *Collector) AvgSyncMemoryPerNode() float64 {
+	if len(c.nodes) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, s := range c.nodes {
+		if len(s.memSamples) == 0 {
+			continue
+		}
+		sum := 0
+		for _, m := range s.memSamples {
+			sum += m.SyncOverhead()
+		}
+		total += float64(sum) / float64(len(s.memSamples))
+	}
+	return total / float64(len(c.nodes))
+}

@@ -1,0 +1,102 @@
+package metrics_test
+
+import (
+	"testing"
+	"time"
+
+	"crdtsync/internal/metrics"
+)
+
+func TestTransmissionAdd(t *testing.T) {
+	a := metrics.Transmission{Messages: 1, Elements: 2, PayloadBytes: 10, MetadataBytes: 3}
+	b := metrics.Transmission{Messages: 2, Elements: 5, PayloadBytes: 20, MetadataBytes: 4}
+	a.Add(b)
+	if a.Messages != 3 || a.Elements != 7 || a.PayloadBytes != 30 || a.MetadataBytes != 7 {
+		t.Errorf("Add = %+v", a)
+	}
+	if a.TotalBytes() != 37 {
+		t.Errorf("TotalBytes = %d", a.TotalBytes())
+	}
+}
+
+func TestMemoryTotals(t *testing.T) {
+	m := metrics.Memory{CRDTBytes: 100, BufferBytes: 30, MetadataBytes: 7}
+	if m.Total() != 137 {
+		t.Errorf("Total = %d", m.Total())
+	}
+	if m.SyncOverhead() != 37 {
+		t.Errorf("SyncOverhead = %d", m.SyncOverhead())
+	}
+}
+
+func TestNodeStats(t *testing.T) {
+	var s metrics.NodeStats
+	s.RecordMemory(metrics.Memory{CRDTBytes: 10})
+	s.RecordMemory(metrics.Memory{CRDTBytes: 30})
+	if got := s.AvgMemoryTotal(); got != 20 {
+		t.Errorf("AvgMemoryTotal = %f", got)
+	}
+	if got := s.MaxMemoryTotal(); got != 30 {
+		t.Errorf("MaxMemoryTotal = %d", got)
+	}
+	s.RecordCPU(time.Millisecond)
+	s.RecordCPU(time.Millisecond)
+	if s.CPU != 2*time.Millisecond {
+		t.Errorf("CPU = %v", s.CPU)
+	}
+	if len(s.MemorySamples()) != 2 {
+		t.Error("sample count wrong")
+	}
+}
+
+func TestNodeStatsEmpty(t *testing.T) {
+	var s metrics.NodeStats
+	if s.AvgMemoryTotal() != 0 || s.MaxMemoryTotal() != 0 {
+		t.Error("empty stats should be zero")
+	}
+}
+
+func TestCollectorRoundSeries(t *testing.T) {
+	c := metrics.NewCollector()
+	c.RecordRoundSend(0, "a", metrics.Transmission{Messages: 1, Elements: 3, PayloadBytes: 5})
+	c.RecordRoundSend(0, "b", metrics.Transmission{Messages: 1, Elements: 2, PayloadBytes: 1})
+	c.RecordRoundSend(2, "a", metrics.Transmission{Messages: 1, Elements: 7, MetadataBytes: 4})
+
+	if got := c.RoundElements(); len(got) != 3 || got[0] != 5 || got[1] != 0 || got[2] != 7 {
+		t.Errorf("RoundElements = %v", got)
+	}
+	if got := c.RoundBytes(); got[0] != 6 || got[2] != 4 {
+		t.Errorf("RoundBytes = %v", got)
+	}
+	total := c.TotalSent()
+	if total.Messages != 3 || total.Elements != 12 {
+		t.Errorf("TotalSent = %+v", total)
+	}
+	if ids := c.NodeIDs(); len(ids) != 2 || ids[0] != "a" {
+		t.Errorf("NodeIDs = %v", ids)
+	}
+}
+
+func TestCollectorAverages(t *testing.T) {
+	c := metrics.NewCollector()
+	c.Node("a").RecordMemory(metrics.Memory{CRDTBytes: 10, BufferBytes: 4})
+	c.Node("b").RecordMemory(metrics.Memory{CRDTBytes: 30, BufferBytes: 2})
+	if got := c.AvgMemoryPerNode(); got != 23 {
+		t.Errorf("AvgMemoryPerNode = %f", got)
+	}
+	if got := c.AvgSyncMemoryPerNode(); got != 3 {
+		t.Errorf("AvgSyncMemoryPerNode = %f", got)
+	}
+	c.Node("a").RecordCPU(time.Second)
+	c.Node("b").RecordCPU(time.Second)
+	if c.TotalCPU() != 2*time.Second {
+		t.Errorf("TotalCPU = %v", c.TotalCPU())
+	}
+}
+
+func TestCollectorEmpty(t *testing.T) {
+	c := metrics.NewCollector()
+	if c.AvgMemoryPerNode() != 0 || c.AvgSyncMemoryPerNode() != 0 {
+		t.Error("empty collector averages should be zero")
+	}
+}

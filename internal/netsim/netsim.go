@@ -1,0 +1,201 @@
+// Package netsim is the replica-cluster substrate of the reproduction: a
+// deterministic lock-step simulator that replaces the paper's
+// Emulab/Kubernetes deployment. Each round every node (1) executes its
+// workload updates, (2) runs one periodic synchronization step, and (3)
+// receives every message addressed to it — including same-round replies,
+// which Scuttlebutt's push-pull reconciliation requires.
+//
+// The channel model matches the paper's assumptions: no loss, but optional
+// duplication and reordering (§IV). All transmission, memory and CPU
+// accounting flows into a metrics.Collector.
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"crdtsync/internal/metrics"
+	"crdtsync/internal/protocol"
+	"crdtsync/internal/topology"
+	"crdtsync/internal/workload"
+)
+
+// Options configures a simulation.
+type Options struct {
+	// Seed drives duplication/reordering decisions.
+	Seed int64
+	// DuplicateProb is the per-message probability of duplicate delivery.
+	DuplicateProb float64
+	// DropProb is the per-message probability of loss. The paper assumes
+	// lossless channels for Algorithm 1 (clearing the δ-buffer each
+	// round); the acknowledgment-based variant (protocol.NewDeltaAcked)
+	// tolerates loss, which tests exercise through this knob.
+	DropProb float64
+	// Reorder shuffles the delivery order within each round.
+	Reorder bool
+	// IDBytes overrides the metadata accounting size of node identifiers
+	// (the paper's Figure 9 uses 20 bytes). Zero uses actual id lengths.
+	IDBytes int
+	// MeasureCPU enables wall-clock timing of engine calls. Leave off in
+	// transmission-only experiments to reduce overhead.
+	MeasureCPU bool
+}
+
+// envelope is one in-flight message.
+type envelope struct {
+	from, to string
+	msg      protocol.Msg
+}
+
+// Sim drives a set of protocol engines over a topology.
+type Sim struct {
+	topo    *topology.Graph
+	nodes   []string
+	engines map[string]protocol.Engine
+	col     *metrics.Collector
+	opts    Options
+	rng     *rand.Rand
+	round   int
+	queue   []envelope
+}
+
+// New builds a simulator: one engine per topology node, constructed by the
+// given factory over the given datatype.
+func New(topo *topology.Graph, factory protocol.Factory, dt workload.Datatype, opts Options) *Sim {
+	s := &Sim{
+		topo:    topo,
+		nodes:   topo.Nodes(),
+		engines: make(map[string]protocol.Engine, topo.NumNodes()),
+		col:     metrics.NewCollector(),
+		opts:    opts,
+		rng:     rand.New(rand.NewSource(opts.Seed)),
+	}
+	for _, id := range s.nodes {
+		cfg := protocol.Config{
+			ID:        id,
+			Neighbors: topo.Neighbors(id),
+			Nodes:     s.nodes,
+			Datatype:  dt,
+			IDBytes:   opts.IDBytes,
+		}
+		s.engines[id] = factory(cfg)
+	}
+	return s
+}
+
+// Collector exposes the metrics gathered so far.
+func (s *Sim) Collector() *metrics.Collector { return s.col }
+
+// Engine returns the engine of a node.
+func (s *Sim) Engine(id string) protocol.Engine { return s.engines[id] }
+
+// Nodes returns the node ids in sorted order.
+func (s *Sim) Nodes() []string { return s.nodes }
+
+// Round returns the number of completed rounds.
+func (s *Sim) Round() int { return s.round }
+
+// sender returns the Sender closure for messages originating at from,
+// accounting costs and applying channel faults.
+func (s *Sim) sender(from string) protocol.Sender {
+	return func(to string, m protocol.Msg) {
+		if !s.topo.HasEdge(from, to) {
+			panic(fmt.Sprintf("netsim: %s sent to non-neighbor %s", from, to))
+		}
+		s.col.RecordRoundSend(s.round, from, m.Cost())
+		if s.opts.DropProb > 0 && s.rng.Float64() < s.opts.DropProb {
+			return // lost on the wire; the send was still paid for
+		}
+		s.queue = append(s.queue, envelope{from: from, to: to, msg: m})
+		if s.opts.DuplicateProb > 0 && s.rng.Float64() < s.opts.DuplicateProb {
+			// Duplication does not consume extra application-level
+			// transmission; it stresses idempotence only.
+			s.queue = append(s.queue, envelope{from: from, to: to, msg: m})
+		}
+	}
+}
+
+// timed runs fn, charging its duration to node's CPU accounting.
+func (s *Sim) timed(node string, fn func()) {
+	if !s.opts.MeasureCPU {
+		fn()
+		return
+	}
+	start := time.Now()
+	fn()
+	s.col.Node(node).RecordCPU(time.Since(start))
+}
+
+// Step runs one round. opsFor returns the updates each node performs this
+// round; nil means a quiet round (synchronization only).
+func (s *Sim) Step(opsFor func(node string, idx int) []workload.Op) {
+	// 1. Local updates.
+	if opsFor != nil {
+		for i, id := range s.nodes {
+			eng := s.engines[id]
+			for _, op := range opsFor(id, i) {
+				s.timed(id, func() { eng.LocalOp(op) })
+			}
+		}
+	}
+	// 2. Periodic synchronization.
+	for _, id := range s.nodes {
+		eng := s.engines[id]
+		s.timed(id, func() { eng.Sync(s.sender(id)) })
+	}
+	// 3. Delivery, including same-round replies.
+	for len(s.queue) > 0 {
+		if s.opts.Reorder {
+			s.rng.Shuffle(len(s.queue), func(i, j int) {
+				s.queue[i], s.queue[j] = s.queue[j], s.queue[i]
+			})
+		}
+		env := s.queue[0]
+		s.queue = s.queue[1:]
+		eng := s.engines[env.to]
+		s.timed(env.to, func() { eng.Deliver(env.from, env.msg, s.sender(env.to)) })
+	}
+	// 4. Memory snapshot.
+	for _, id := range s.nodes {
+		s.col.Node(id).RecordMemory(s.engines[id].Memory())
+	}
+	s.round++
+}
+
+// Run executes rounds rounds of the given workload generator.
+func (s *Sim) Run(rounds int, gen workload.Generator) {
+	n := len(s.nodes)
+	for r := 0; r < rounds; r++ {
+		round := s.round
+		s.Step(func(node string, idx int) []workload.Op {
+			return gen.Ops(round, node, idx, n)
+		})
+	}
+}
+
+// Converged reports whether all replicas hold equal states.
+func (s *Sim) Converged() bool {
+	if len(s.nodes) < 2 {
+		return true
+	}
+	first := s.engines[s.nodes[0]].State()
+	for _, id := range s.nodes[1:] {
+		if !first.Equal(s.engines[id].State()) {
+			return false
+		}
+	}
+	return true
+}
+
+// RunQuiet runs update-free rounds until convergence or maxRounds,
+// returning the number of rounds used and whether convergence was reached.
+func (s *Sim) RunQuiet(maxRounds int) (rounds int, converged bool) {
+	for r := 0; r < maxRounds; r++ {
+		if s.Converged() {
+			return r, true
+		}
+		s.Step(nil)
+	}
+	return maxRounds, s.Converged()
+}

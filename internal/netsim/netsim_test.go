@@ -1,0 +1,206 @@
+package netsim
+
+import (
+	"testing"
+
+	"crdtsync/internal/protocol"
+	"crdtsync/internal/topology"
+	"crdtsync/internal/workload"
+)
+
+// protocols under test, used across the integration tests.
+func allFactories() map[string]protocol.Factory {
+	return map[string]protocol.Factory{
+		"state":         protocol.NewStateBased(),
+		"delta-classic": protocol.NewDeltaClassic(),
+		"delta-bp":      protocol.NewDeltaBased(true, false),
+		"delta-rr":      protocol.NewDeltaBased(false, true),
+		"delta-bprr":    protocol.NewDeltaBPRR(),
+		"scuttlebutt":   protocol.NewScuttlebutt(),
+		"scuttlebuttgc": protocol.NewScuttlebuttGC(),
+		"opbased":       protocol.NewOpBased(),
+	}
+}
+
+func allTopologies() map[string]*topology.Graph {
+	return map[string]*topology.Graph{
+		"mesh": topology.PartialMesh(15, 4, 1),
+		"tree": topology.Tree(15, 2),
+		"line": topology.Line(5),
+		"ring": topology.Ring(7),
+	}
+}
+
+func allWorkloads() map[string]struct {
+	dt  workload.Datatype
+	gen workload.Generator
+} {
+	return map[string]struct {
+		dt  workload.Datatype
+		gen workload.Generator
+	}{
+		"gset":     {workload.GSetType{}, workload.GSetGen{}},
+		"gcounter": {workload.GCounterType{}, workload.GCounterGen{}},
+		"gmap30":   {workload.GMapType{}, workload.GMapGen{K: 30, TotalKeys: 100}},
+		"awset":    {workload.AWSetType{}, workload.AWSetGen{RemoveEvery: 3}},
+	}
+}
+
+// TestConvergenceAllProtocols checks that every protocol converges every
+// replica to the same state on every topology and datatype.
+func TestConvergenceAllProtocols(t *testing.T) {
+	for tname, topo := range allTopologies() {
+		for pname, factory := range allFactories() {
+			for wname, w := range allWorkloads() {
+				t.Run(tname+"/"+pname+"/"+wname, func(t *testing.T) {
+					sim := New(topo, factory, w.dt, Options{Seed: 42})
+					sim.Run(10, w.gen)
+					rounds, ok := sim.RunQuiet(50)
+					if !ok {
+						t.Fatalf("no convergence after %d quiet rounds", rounds)
+					}
+					if sim.Engine(sim.Nodes()[0]).State().IsBottom() {
+						t.Fatal("converged to bottom: workload had no effect")
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestConvergenceUnderFaults checks convergence with message duplication
+// and reordering, the paper's channel model.
+func TestConvergenceUnderFaults(t *testing.T) {
+	topo := topology.PartialMesh(15, 4, 3)
+	for pname, factory := range allFactories() {
+		t.Run(pname, func(t *testing.T) {
+			sim := New(topo, factory, workload.GSetType{}, Options{
+				Seed:          7,
+				DuplicateProb: 0.3,
+				Reorder:       true,
+			})
+			sim.Run(10, workload.GSetGen{})
+			if _, ok := sim.RunQuiet(60); !ok {
+				t.Fatal("no convergence under duplication + reordering")
+			}
+		})
+	}
+}
+
+// TestCrossProtocolEquivalence checks that every protocol drives the
+// replicas to the *same* final state for the same deterministic workload —
+// they differ in cost, never in outcome.
+func TestCrossProtocolEquivalence(t *testing.T) {
+	topo := topology.PartialMesh(15, 4, 1)
+	for wname, w := range allWorkloads() {
+		t.Run(wname, func(t *testing.T) {
+			var reference protocol.Engine
+			for pname, factory := range allFactories() {
+				sim := New(topo, factory, w.dt, Options{Seed: 42})
+				sim.Run(10, w.gen)
+				if _, ok := sim.RunQuiet(60); !ok {
+					t.Fatalf("%s did not converge", pname)
+				}
+				eng := sim.Engine(sim.Nodes()[0])
+				if reference == nil {
+					reference = eng
+					continue
+				}
+				if !eng.State().Equal(reference.State()) {
+					t.Errorf("%s converged to a different state than %s",
+						pname, reference.ID())
+				}
+			}
+		})
+	}
+}
+
+// TestAckedDeltaMatchesPlainOnReliableChannels checks that with no loss,
+// the acknowledgment-based δ-buffer converges like the clear-after-send
+// variant on every topology.
+func TestAckedDeltaMatchesPlainOnReliableChannels(t *testing.T) {
+	for tname, topo := range allTopologies() {
+		t.Run(tname, func(t *testing.T) {
+			sim := New(topo, protocol.NewDeltaAcked(true, true), workload.GSetType{}, Options{Seed: 5})
+			sim.Run(10, workload.GSetGen{})
+			if _, ok := sim.RunQuiet(50); !ok {
+				t.Fatal("acked delta did not converge")
+			}
+		})
+	}
+}
+
+// TestAckedDeltaSurvivesMessageLoss is the robustness result the paper
+// sketches in §IV: clearing the δ-buffer each round is only safe on
+// lossless channels; with sequence numbers and acks, entries are resent
+// until acknowledged and convergence survives heavy loss.
+func TestAckedDeltaSurvivesMessageLoss(t *testing.T) {
+	topo := topology.PartialMesh(15, 4, 3)
+	opts := Options{Seed: 11, DropProb: 0.3}
+	for _, v := range []struct {
+		name   string
+		bp, rr bool
+	}{{"classic-acked", false, false}, {"bp+rr-acked", true, true}} {
+		t.Run(v.name, func(t *testing.T) {
+			sim := New(topo, protocol.NewDeltaAcked(v.bp, v.rr), workload.GSetType{}, opts)
+			sim.Run(10, workload.GSetGen{})
+			if r, ok := sim.RunQuiet(200); !ok {
+				t.Fatalf("no convergence under 30%% loss after %d quiet rounds", r)
+			}
+			// All 150 unique elements must have survived the loss.
+			if got := sim.Engine(sim.Nodes()[0]).State().Elements(); got != 150 {
+				t.Errorf("converged to %d elements, want 150", got)
+			}
+		})
+	}
+}
+
+// TestPlainDeltaLosesDataUnderLoss documents the converse: the
+// clear-after-send algorithm drops buffered δ-groups whose message was
+// lost, so replicas converge (quiesce) on incomplete states.
+func TestPlainDeltaLosesDataUnderLoss(t *testing.T) {
+	topo := topology.PartialMesh(15, 4, 3)
+	sim := New(topo, protocol.NewDeltaBPRR(), workload.GSetType{}, Options{Seed: 11, DropProb: 0.3})
+	sim.Run(10, workload.GSetGen{})
+	sim.RunQuiet(200)
+	got := sim.Engine(sim.Nodes()[0]).State().Elements()
+	if got >= 150 {
+		t.Skip("loss pattern happened to spare all δ-groups; nothing to show")
+	}
+	// The run documented the expected data loss; nothing to assert
+	// beyond it being below the full set.
+	t.Logf("plain delta under loss kept %d/150 elements (expected < 150)", got)
+}
+
+// TestHeadlineResult reproduces the paper's core claim on a mesh: classic
+// delta-based transmits roughly as much as state-based, while BP+RR
+// transmits far less; and in a tree, BP alone already reaches BP+RR.
+func TestHeadlineResult(t *testing.T) {
+	run := func(topo *topology.Graph, f protocol.Factory) int {
+		sim := New(topo, f, workload.GSetType{}, Options{Seed: 42})
+		sim.Run(50, workload.GSetGen{})
+		sim.RunQuiet(50)
+		return sim.Collector().TotalSent().Elements
+	}
+
+	mesh := topology.PartialMesh(15, 4, 1)
+	stateEl := run(mesh, protocol.NewStateBased())
+	classicEl := run(mesh, protocol.NewDeltaClassic())
+	bprrEl := run(mesh, protocol.NewDeltaBPRR())
+
+	if classicEl < stateEl/2 {
+		t.Errorf("mesh: classic delta (%d) should be comparable to state-based (%d)", classicEl, stateEl)
+	}
+	if bprrEl*3 > classicEl {
+		t.Errorf("mesh: BP+RR (%d) should be well below classic (%d)", bprrEl, classicEl)
+	}
+
+	tree := topology.Tree(15, 2)
+	bpEl := run(tree, protocol.NewDeltaBased(true, false))
+	bprrTreeEl := run(tree, protocol.NewDeltaBPRR())
+	if diff := bpEl - bprrTreeEl; diff < 0 {
+		diff = -diff
+	} else if float64(diff) > 0.1*float64(bprrTreeEl) {
+		t.Errorf("tree: BP alone (%d) should match BP+RR (%d)", bpEl, bprrTreeEl)
+	}
+}

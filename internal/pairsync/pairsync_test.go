@@ -1,0 +1,134 @@
+package pairsync_test
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"crdtsync/internal/crdt"
+	"crdtsync/internal/lattice"
+	"crdtsync/internal/pairsync"
+)
+
+// diverged builds two replicas with shared history plus disjoint suffixes.
+func diverged(r *rand.Rand) (lattice.State, lattice.State) {
+	base := crdt.NewGSet()
+	for i, n := 0, r.Intn(20); i < n; i++ {
+		base.Add("shared" + strconv.Itoa(i))
+	}
+	a := base.Clone().(*crdt.GSet)
+	b := base.Clone().(*crdt.GSet)
+	for i, n := 0, r.Intn(10); i < n; i++ {
+		a.Add("a" + strconv.Itoa(i))
+	}
+	for i, n := 0, r.Intn(10); i < n; i++ {
+		b.Add("b" + strconv.Itoa(i))
+	}
+	return a, b
+}
+
+func TestStateDrivenConverges(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		a, b := diverged(r)
+		want := a.Join(b)
+		stats := pairsync.StateDriven(a, b)
+		if !a.Equal(want) || !b.Equal(want) {
+			t.Fatalf("state-driven did not converge: a=%v b=%v want=%v", a, b, want)
+		}
+		if stats.Messages != 2 {
+			t.Fatalf("messages = %d, want 2", stats.Messages)
+		}
+	}
+}
+
+func TestDigestDrivenConverges(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		a, b := diverged(r)
+		want := a.Join(b)
+		stats := pairsync.DigestDriven(a, b)
+		if !a.Equal(want) || !b.Equal(want) {
+			t.Fatalf("digest-driven did not converge: a=%v b=%v want=%v", a, b, want)
+		}
+		if stats.Messages != 3 {
+			t.Fatalf("messages = %d, want 3", stats.Messages)
+		}
+	}
+}
+
+func TestDigestDrivenShipsLessState(t *testing.T) {
+	// With a large shared prefix and small divergence, digest-driven
+	// ships only the divergent elements as state (plus fixed-size
+	// hashes), while state-driven ships replica A wholesale.
+	base := crdt.NewGSet()
+	for i := 0; i < 500; i++ {
+		base.Add("shared-elem-with-some-length-" + strconv.Itoa(i))
+	}
+	a1 := base.Clone().(*crdt.GSet)
+	b1 := base.Clone().(*crdt.GSet)
+	a1.Add("only-a")
+	b1.Add("only-b")
+	a2 := a1.Clone().(*crdt.GSet)
+	b2 := b1.Clone().(*crdt.GSet)
+
+	sd := pairsync.StateDriven(a1, b1)
+	dd := pairsync.DigestDriven(a2, b2)
+	if dd.StateBytes >= sd.StateBytes/10 {
+		t.Errorf("digest-driven state bytes %d, state-driven %d: expected ≥10x reduction",
+			dd.StateBytes, sd.StateBytes)
+	}
+}
+
+func TestStateDrivenOnCounters(t *testing.T) {
+	a := crdt.NewGCounter()
+	b := crdt.NewGCounter()
+	a.Inc("A", 5)
+	b.Inc("B", 3)
+	b.Inc("A", 2) // stale view of A
+	want := a.Join(b)
+	pairsync.StateDriven(a, b)
+	if !a.Equal(want) || !b.Equal(want) {
+		t.Error("counters did not reconcile")
+	}
+}
+
+func TestDigestDrivenOnAWSet(t *testing.T) {
+	a := crdt.NewAWSet()
+	a.Add("A", "x")
+	a.Add("A", "y")
+	b := a.Clone().(*crdt.AWSet)
+	b.Remove("x")
+	a.Add("A", "z")
+	want := a.Join(b)
+	pairsync.DigestDriven(a, b)
+	if !a.Equal(want) || !b.Equal(want) {
+		t.Errorf("AWSet did not reconcile: a=%v b=%v want=%v", a, b, want)
+	}
+	if a.Contains("x") {
+		t.Error("observed remove lost during reconciliation")
+	}
+}
+
+func TestDigestSemantics(t *testing.T) {
+	s := crdt.NewGSet("p", "q")
+	d := pairsync.NewDigest(s)
+	if !d.Contains(crdt.NewGSet("p")) {
+		t.Error("digest should cover its own irreducibles")
+	}
+	if d.Contains(crdt.NewGSet("r")) {
+		t.Error("digest should not cover foreign irreducibles")
+	}
+	if d.SizeBytes() != 16 {
+		t.Errorf("digest size = %d, want 16 (2 hashes)", d.SizeBytes())
+	}
+}
+
+func TestIdenticalReplicasShipNothing(t *testing.T) {
+	a := crdt.NewGSet("same")
+	b := a.Clone()
+	dd := pairsync.DigestDriven(a, b)
+	if dd.StateBytes != 0 {
+		t.Errorf("identical replicas shipped %d state bytes", dd.StateBytes)
+	}
+}

@@ -1,0 +1,177 @@
+package protocol
+
+import (
+	"crdtsync/internal/core"
+	"crdtsync/internal/lattice"
+	"crdtsync/internal/metrics"
+	"crdtsync/internal/workload"
+)
+
+// AckedDeltaMsg is a δ-group tagged with the buffer sequence numbers it
+// covers, so the receiver can acknowledge them.
+type AckedDeltaMsg struct {
+	Delta lattice.State
+	Seqs  []uint64
+	cost  metrics.Transmission
+}
+
+// Kind implements Msg.
+func (m *AckedDeltaMsg) Kind() string { return "delta-acked" }
+
+// Cost implements Msg.
+func (m *AckedDeltaMsg) Cost() metrics.Transmission { return m.cost }
+
+// AckMsg acknowledges received δ-buffer entries.
+type AckMsg struct {
+	Seqs []uint64
+	cost metrics.Transmission
+}
+
+// Kind implements Msg.
+func (m *AckMsg) Kind() string { return "ack" }
+
+// Cost implements Msg.
+func (m *AckMsg) Cost() metrics.Transmission { return m.cost }
+
+// ackedEntry is one δ-buffer entry awaiting acknowledgment.
+type ackedEntry struct {
+	seq    uint64
+	delta  lattice.State
+	origin string
+	acked  map[string]bool
+}
+
+// deltaAcked is the lossy-channel variant of delta-based synchronization
+// the paper sketches in §IV: instead of clearing the δ-buffer after every
+// synchronization step, each entry carries a unique sequence number,
+// receivers acknowledge, and an entry is dropped once every neighbor that
+// must receive it has acknowledged it. Unacknowledged entries are resent
+// every round, so convergence survives message loss — which the
+// clear-after-send algorithm does not.
+//
+// BP and RR compose with acknowledgments exactly as in Algorithm 1.
+type deltaAcked struct {
+	cfg     Config
+	bp, rr  bool
+	x       lattice.State
+	nextSeq uint64
+	buf     []*ackedEntry
+}
+
+// NewDeltaAcked returns the acknowledgment-based delta engine factory with
+// the given optimizations.
+func NewDeltaAcked(bp, rr bool) Factory {
+	return func(cfg Config) Engine {
+		return &deltaAcked{cfg: cfg, bp: bp, rr: rr, x: cfg.Datatype.New()}
+	}
+}
+
+func (e *deltaAcked) ID() string           { return e.cfg.ID }
+func (e *deltaAcked) State() lattice.State { return e.x }
+
+func (e *deltaAcked) store(s lattice.State, origin string) {
+	e.x.Merge(s)
+	e.nextSeq++
+	e.buf = append(e.buf, &ackedEntry{
+		seq:    e.nextSeq,
+		delta:  s,
+		origin: origin,
+		acked:  make(map[string]bool),
+	})
+}
+
+func (e *deltaAcked) LocalOp(op workload.Op) {
+	d := e.cfg.Datatype.Delta(e.x, e.cfg.ID, op)
+	if d.IsBottom() {
+		return
+	}
+	e.store(d, e.cfg.ID)
+}
+
+func (e *deltaAcked) Sync(send Sender) {
+	for _, j := range e.cfg.Neighbors {
+		var d lattice.State
+		var seqs []uint64
+		for _, entry := range e.buf {
+			if e.bp && entry.origin == j {
+				continue
+			}
+			if entry.acked[j] {
+				continue
+			}
+			if d == nil {
+				d = entry.delta.Clone()
+			} else {
+				d.Merge(entry.delta)
+			}
+			seqs = append(seqs, entry.seq)
+		}
+		if d == nil || d.IsBottom() {
+			continue
+		}
+		cost := stateCost(d, 8*len(seqs))
+		send(j, &AckedDeltaMsg{Delta: d, Seqs: seqs, cost: cost})
+	}
+}
+
+func (e *deltaAcked) Deliver(from string, m Msg, send Sender) {
+	switch msg := m.(type) {
+	case *AckedDeltaMsg:
+		d := msg.Delta
+		if e.rr {
+			d = core.Delta(d, e.x)
+			if !d.IsBottom() {
+				e.store(d, from)
+			}
+		} else if lattice.StrictlyInflates(d, e.x) {
+			e.store(d, from)
+		}
+		// Acknowledge regardless of redundancy: the data arrived.
+		send(from, &AckMsg{
+			Seqs: msg.Seqs,
+			cost: metrics.Transmission{Messages: 1, MetadataBytes: 8 * len(msg.Seqs)},
+		})
+	case *AckMsg:
+		acked := make(map[uint64]bool, len(msg.Seqs))
+		for _, s := range msg.Seqs {
+			acked[s] = true
+		}
+		kept := e.buf[:0]
+		for _, entry := range e.buf {
+			if acked[entry.seq] {
+				entry.acked[from] = true
+			}
+			if !e.fullyAcked(entry) {
+				kept = append(kept, entry)
+			}
+		}
+		e.buf = kept
+	}
+}
+
+// fullyAcked reports whether every neighbor that must receive the entry
+// has acknowledged it (its origin, under BP, never receives it).
+func (e *deltaAcked) fullyAcked(entry *ackedEntry) bool {
+	for _, j := range e.cfg.Neighbors {
+		if e.bp && entry.origin == j {
+			continue
+		}
+		if !entry.acked[j] {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *deltaAcked) Memory() metrics.Memory {
+	buf, meta := 0, 0
+	for _, entry := range e.buf {
+		buf += entry.delta.SizeBytes() + len(entry.origin)
+		meta += 8 + 8*len(entry.acked)
+	}
+	return metrics.Memory{
+		CRDTBytes:     e.x.SizeBytes(),
+		BufferBytes:   buf,
+		MetadataBytes: meta,
+	}
+}

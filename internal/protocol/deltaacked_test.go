@@ -1,0 +1,98 @@
+package protocol_test
+
+import (
+	"testing"
+
+	"crdtsync/internal/crdt"
+	"crdtsync/internal/protocol"
+	"crdtsync/internal/workload"
+)
+
+func TestAckedDeltaBasicExchange(t *testing.T) {
+	a, b := twoNodes(protocol.NewDeltaAcked(true, true), workload.GSetType{})
+	engines := map[string]protocol.Engine{"a": a, "b": b}
+	a.LocalOp(addOp("x"))
+	sent := pump(engines, "a")
+	// One delta out, one ack back.
+	kinds := map[string]int{}
+	for _, m := range sent {
+		kinds[m.Kind()]++
+	}
+	if kinds["delta-acked"] != 1 || kinds["ack"] != 1 {
+		t.Fatalf("message kinds = %v, want 1 delta-acked + 1 ack", kinds)
+	}
+	if !b.State().(*crdt.GSet).Contains("x") {
+		t.Error("delta not applied")
+	}
+	// Entry fully acked: buffer empty, nothing resent.
+	if m := a.Memory(); m.BufferBytes != 0 {
+		t.Errorf("acked entry not pruned: buffer=%d", m.BufferBytes)
+	}
+	if again := pump(engines, "a"); len(again) != 0 {
+		t.Errorf("acked entry resent: %d messages", len(again))
+	}
+}
+
+func TestAckedDeltaRetransmitsUntilAcked(t *testing.T) {
+	a, b := twoNodes(protocol.NewDeltaAcked(true, true), workload.GSetType{})
+	a.LocalOp(addOp("x"))
+
+	// Simulate loss: run Sync but drop everything.
+	a.Sync(func(string, protocol.Msg) {})
+	if m := a.Memory(); m.BufferBytes == 0 {
+		t.Fatal("entry pruned without any ack")
+	}
+
+	// Next round retransmits; deliver normally this time.
+	engines := map[string]protocol.Engine{"a": a, "b": b}
+	pump(engines, "a")
+	if !b.State().(*crdt.GSet).Contains("x") {
+		t.Error("retransmission did not deliver")
+	}
+	if m := a.Memory(); m.BufferBytes != 0 {
+		t.Error("entry not pruned after ack")
+	}
+}
+
+func TestAckedDeltaAcksRedundantGroups(t *testing.T) {
+	// Even a fully redundant δ-group must be acknowledged, or the sender
+	// would retransmit it forever.
+	a, b := twoNodes(protocol.NewDeltaAcked(false, true), workload.GSetType{})
+	engines := map[string]protocol.Engine{"a": a, "b": b}
+	a.LocalOp(addOp("x"))
+	pump(engines, "a")
+	// b now has x; make a buffer x again via b's back-propagation...
+	// (no BP in this variant) and ensure no infinite ping-pong: run a
+	// few rounds and check quiescence.
+	for i := 0; i < 4; i++ {
+		pump(engines, "b")
+		pump(engines, "a")
+	}
+	if sent := pump(engines, "a"); len(sent) != 0 {
+		t.Errorf("system did not quiesce: %d messages still flowing", len(sent))
+	}
+	if sent := pump(engines, "b"); len(sent) != 0 {
+		t.Errorf("system did not quiesce: %d messages still flowing", len(sent))
+	}
+}
+
+func TestAckedDeltaBPSkipsOriginAck(t *testing.T) {
+	// With BP, an entry received from j never needs j's ack: it is
+	// pruned once all other neighbors acknowledge.
+	nodes := []string{"a", "b", "c"}
+	f := protocol.NewDeltaAcked(true, false)
+	engines := map[string]protocol.Engine{
+		"a": f(protocol.Config{ID: "a", Neighbors: []string{"b"}, Nodes: nodes, Datatype: workload.GSetType{}}),
+		"b": f(protocol.Config{ID: "b", Neighbors: []string{"a", "c"}, Nodes: nodes, Datatype: workload.GSetType{}}),
+		"c": f(protocol.Config{ID: "c", Neighbors: []string{"b"}, Nodes: nodes, Datatype: workload.GSetType{}}),
+	}
+	engines["a"].LocalOp(addOp("x"))
+	pump(engines, "a") // a→b, acked
+	pump(engines, "b") // b→c only (BP skips a), acked by c
+	if m := engines["b"].Memory(); m.BufferBytes != 0 {
+		t.Errorf("b's entry should be pruned after c's ack alone (BP), buffer=%d", m.BufferBytes)
+	}
+	if !engines["c"].State().(*crdt.GSet).Contains("x") {
+		t.Error("x did not reach c")
+	}
+}

@@ -1,0 +1,303 @@
+package protocol_test
+
+import (
+	"testing"
+
+	"crdtsync/internal/crdt"
+	"crdtsync/internal/protocol"
+	"crdtsync/internal/workload"
+)
+
+// twoNodes builds engines a, b that are mutual neighbors.
+func twoNodes(f protocol.Factory, dt workload.Datatype) (a, b protocol.Engine) {
+	nodes := []string{"a", "b"}
+	a = f(protocol.Config{ID: "a", Neighbors: []string{"b"}, Nodes: nodes, Datatype: dt})
+	b = f(protocol.Config{ID: "b", Neighbors: []string{"a"}, Nodes: nodes, Datatype: dt})
+	return a, b
+}
+
+// pump runs one sync step of from, delivering everything to the peers map,
+// including same-step replies, and returns the messages sent (transitively).
+func pump(engines map[string]protocol.Engine, from string) []protocol.Msg {
+	type env struct {
+		from, to string
+		m        protocol.Msg
+	}
+	var queue []env
+	var sent []protocol.Msg
+	sender := func(src string) protocol.Sender {
+		return func(to string, m protocol.Msg) {
+			sent = append(sent, m)
+			queue = append(queue, env{from: src, to: to, m: m})
+		}
+	}
+	engines[from].Sync(sender(from))
+	for len(queue) > 0 {
+		e := queue[0]
+		queue = queue[1:]
+		engines[e.to].Deliver(e.from, e.m, sender(e.to))
+	}
+	return sent
+}
+
+func addOp(e string) workload.Op { return workload.Op{Kind: workload.KindAdd, Elem: e} }
+
+func TestStateBasedShipsFullState(t *testing.T) {
+	a, b := twoNodes(protocol.NewStateBased(), workload.GSetType{})
+	engines := map[string]protocol.Engine{"a": a, "b": b}
+	a.LocalOp(addOp("x"))
+	a.LocalOp(addOp("y"))
+	sent := pump(engines, "a")
+	if len(sent) != 1 {
+		t.Fatalf("messages = %d, want 1", len(sent))
+	}
+	if got := sent[0].Cost().Elements; got != 2 {
+		t.Errorf("state msg elements = %d, want full state (2)", got)
+	}
+	if !b.State().(*crdt.GSet).Contains("x") {
+		t.Error("state not merged at receiver")
+	}
+	// State-based keeps no sync metadata in memory.
+	if m := a.Memory(); m.BufferBytes != 0 || m.MetadataBytes != 0 {
+		t.Errorf("state-based memory = %+v, want zero sync overhead", m)
+	}
+}
+
+func TestStateBasedSkipsBottom(t *testing.T) {
+	a, b := twoNodes(protocol.NewStateBased(), workload.GSetType{})
+	engines := map[string]protocol.Engine{"a": a, "b": b}
+	if sent := pump(engines, "a"); len(sent) != 0 {
+		t.Errorf("bottom state should not be sent, got %d msgs", len(sent))
+	}
+}
+
+func TestDeltaClassicInflationCheck(t *testing.T) {
+	a, b := twoNodes(protocol.NewDeltaClassic(), workload.GSetType{})
+	engines := map[string]protocol.Engine{"a": a, "b": b}
+	a.LocalOp(addOp("x"))
+	pump(engines, "a")
+	if !b.State().(*crdt.GSet).Contains("x") {
+		t.Fatal("delta not applied")
+	}
+	// b now holds {x}; b's buffer holds the received δ-group, so b's
+	// next sync back-propagates it to a (the BP problem).
+	sent := pump(engines, "b")
+	if len(sent) != 1 || sent[0].Cost().Elements != 1 {
+		t.Fatalf("classic should back-propagate: %+v", sent)
+	}
+	// a receives its own {x} back: no inflation, buffer stays empty.
+	if sentAgain := pump(engines, "a"); len(sentAgain) != 0 {
+		t.Errorf("redundant δ-group must not re-enter the buffer (classic line 16)")
+	}
+}
+
+func TestDeltaBPAvoidsBackPropagation(t *testing.T) {
+	a, b := twoNodes(protocol.NewDeltaBased(true, false), workload.GSetType{})
+	engines := map[string]protocol.Engine{"a": a, "b": b}
+	a.LocalOp(addOp("x"))
+	pump(engines, "a")
+	// With BP, b's buffered δ-group is tagged with origin a and filtered
+	// when syncing with a: nothing is sent.
+	if sent := pump(engines, "b"); len(sent) != 0 {
+		t.Errorf("BP violated: %d messages sent back to origin", len(sent))
+	}
+}
+
+func TestDeltaRRExtractsStrictInflation(t *testing.T) {
+	// Triangle a—b, a—c, b—c: c receives overlapping δ-groups.
+	nodes := []string{"a", "b", "c"}
+	f := protocol.NewDeltaBased(false, true)
+	mk := func(id string, nb ...string) protocol.Engine {
+		return f(protocol.Config{ID: id, Neighbors: nb, Nodes: nodes, Datatype: workload.GSetType{}})
+	}
+	engines := map[string]protocol.Engine{
+		"a": mk("a", "b", "c"),
+		"b": mk("b", "a", "c"),
+		"c": mk("c", "a", "b"),
+	}
+	engines["a"].LocalOp(addOp("x"))
+	pump(engines, "a") // b and c now know x
+	pump(engines, "c") // c flushes its buffered {x}
+	engines["b"].LocalOp(addOp("y"))
+	// b sends {x,y} to a and c (no BP). c already has x; RR must store
+	// only {y}, so c's next δ-group is {y}, not {x,y}.
+	pump(engines, "b")
+	sent := pump(engines, "c")
+	for _, m := range sent {
+		if n := m.Cost().Elements; n > 1 {
+			t.Errorf("RR violated: δ-group carries %d elements, want ≤ 1", n)
+		}
+	}
+}
+
+func TestDeltaMemoryAccountsBuffer(t *testing.T) {
+	a, _ := twoNodes(protocol.NewDeltaClassic(), workload.GSetType{})
+	a.LocalOp(addOp("abc"))
+	m := a.Memory()
+	if m.BufferBytes == 0 {
+		t.Error("buffered delta should count toward memory")
+	}
+	if m.MetadataBytes != 8 { // one seq counter for one neighbor
+		t.Errorf("metadata = %d, want 8", m.MetadataBytes)
+	}
+}
+
+func TestScuttlebuttReconciliation(t *testing.T) {
+	a, b := twoNodes(protocol.NewScuttlebutt(), workload.GSetType{})
+	engines := map[string]protocol.Engine{"a": a, "b": b}
+	a.LocalOp(addOp("x"))
+	b.LocalOp(addOp("y"))
+	// a digests to b; b replies with what a misses.
+	pump(engines, "a")
+	if !a.State().(*crdt.GSet).Contains("y") {
+		t.Error("pull direction failed")
+	}
+	pump(engines, "b")
+	if !b.State().(*crdt.GSet).Contains("x") {
+		t.Error("push-pull second direction failed")
+	}
+	// Reconciled: another digest exchange ships no deltas.
+	sent := pump(engines, "a")
+	for _, m := range sent {
+		if m.Kind() == "sb-deltas" {
+			t.Error("no deltas should flow once reconciled")
+		}
+	}
+}
+
+func TestScuttlebuttNeverPrunes(t *testing.T) {
+	a, b := twoNodes(protocol.NewScuttlebutt(), workload.GSetType{})
+	engines := map[string]protocol.Engine{"a": a, "b": b}
+	for i := 0; i < 5; i++ {
+		a.LocalOp(addOp(string(rune('a' + i))))
+		pump(engines, "a")
+		pump(engines, "b")
+	}
+	// All 5 deltas remain in both stores forever.
+	if m := a.Memory(); m.BufferBytes < 5 {
+		t.Errorf("plain scuttlebutt should retain all deltas, buffer=%d", m.BufferBytes)
+	}
+}
+
+func TestScuttlebuttGCPrunes(t *testing.T) {
+	a, b := twoNodes(protocol.NewScuttlebuttGC(), workload.GSetType{})
+	engines := map[string]protocol.Engine{"a": a, "b": b}
+	a.LocalOp(addOp("x"))
+	// Several digest exchanges let the seen-matrix converge; then the
+	// delta (seen by both nodes) is deleted from both stores.
+	for i := 0; i < 4; i++ {
+		pump(engines, "a")
+		pump(engines, "b")
+	}
+	am, bm := a.Memory(), b.Memory()
+	if am.BufferBytes != 0 || bm.BufferBytes != 0 {
+		t.Errorf("GC should prune fully-seen deltas: a=%d b=%d", am.BufferBytes, bm.BufferBytes)
+	}
+	// State survives pruning.
+	if !b.State().(*crdt.GSet).Contains("x") {
+		t.Error("pruning must not lose state")
+	}
+}
+
+func TestOpBasedCausalDelivery(t *testing.T) {
+	// Line a—b—c: ops from a must be applied at c in causal order even
+	// though c only talks to b.
+	nodes := []string{"a", "b", "c"}
+	f := protocol.NewOpBased()
+	engines := map[string]protocol.Engine{
+		"a": f(protocol.Config{ID: "a", Neighbors: []string{"b"}, Nodes: nodes, Datatype: workload.GCounterType{}}),
+		"b": f(protocol.Config{ID: "b", Neighbors: []string{"a", "c"}, Nodes: nodes, Datatype: workload.GCounterType{}}),
+		"c": f(protocol.Config{ID: "c", Neighbors: []string{"b"}, Nodes: nodes, Datatype: workload.GCounterType{}}),
+	}
+	inc := workload.Op{Kind: workload.KindInc, N: 1}
+	engines["a"].LocalOp(inc)
+	engines["a"].LocalOp(inc)
+	engines["a"].LocalOp(inc)
+	pump(engines, "a") // a → b
+	pump(engines, "b") // b → c (store-and-forward)
+	if got := engines["c"].State().(*crdt.GCounter).Value(); got != 3 {
+		t.Errorf("c's counter = %d, want 3", got)
+	}
+}
+
+func TestOpBasedNoDuplicateApplication(t *testing.T) {
+	a, b := twoNodes(protocol.NewOpBased(), workload.GCounterType{})
+	engines := map[string]protocol.Engine{"a": a, "b": b}
+	a.LocalOp(workload.Op{Kind: workload.KindInc, N: 1})
+	sent := pump(engines, "a")
+	if len(sent) != 1 {
+		t.Fatalf("messages = %d", len(sent))
+	}
+	// Redeliver the same message: exactly-once semantics must hold.
+	b.Deliver("a", sent[0], func(string, protocol.Msg) {})
+	if got := b.State().(*crdt.GCounter).Value(); got != 1 {
+		t.Errorf("duplicate delivery changed value to %d", got)
+	}
+}
+
+func TestOpBasedSeenFilteringStopsForwarding(t *testing.T) {
+	a, b := twoNodes(protocol.NewOpBased(), workload.GCounterType{})
+	engines := map[string]protocol.Engine{"a": a, "b": b}
+	a.LocalOp(workload.Op{Kind: workload.KindInc, N: 1})
+	pump(engines, "a")
+	// b received the op from a; it must not forward it back to a.
+	if sent := pump(engines, "b"); len(sent) != 0 {
+		t.Errorf("op forwarded back to its sender: %d messages", len(sent))
+	}
+	// And a must not resend it either (marked seen at send time).
+	if sent := pump(engines, "a"); len(sent) != 0 {
+		t.Errorf("op resent after being sent once: %d messages", len(sent))
+	}
+}
+
+func TestPerObjectRoutesAndBatches(t *testing.T) {
+	objType := func(string) workload.Datatype { return workload.GSetType{} }
+	f := protocol.NewPerObject(protocol.NewDeltaBPRR(), objType)
+	a, b := twoNodes(f, workload.GSetType{})
+	engines := map[string]protocol.Engine{"a": a, "b": b}
+
+	a.LocalOp(workload.Op{Kind: workload.KindAdd, Key: "obj1", Elem: "x"})
+	a.LocalOp(workload.Op{Kind: workload.KindAdd, Key: "obj2", Elem: "y"})
+	sent := pump(engines, "a")
+	// Two objects, one neighbor: one batch message.
+	if len(sent) != 1 {
+		t.Fatalf("batches = %d, want 1", len(sent))
+	}
+	if got := sent[0].Cost().Elements; got != 2 {
+		t.Errorf("batch elements = %d, want 2", got)
+	}
+	// Receiver's aggregate state holds both objects.
+	bs := b.State()
+	if bs.Elements() != 2 {
+		t.Errorf("aggregate state = %v", bs)
+	}
+}
+
+func TestPerObjectInflationCheckIsPerObject(t *testing.T) {
+	// The Retwis low-contention effect: a δ-group for an object that is
+	// already known is dropped entirely and never re-propagated, even by
+	// the classic algorithm.
+	objType := func(string) workload.Datatype { return workload.GSetType{} }
+	f := protocol.NewPerObject(protocol.NewDeltaClassic(), objType)
+	a, b := twoNodes(f, workload.GSetType{})
+	engines := map[string]protocol.Engine{"a": a, "b": b}
+
+	a.LocalOp(workload.Op{Kind: workload.KindAdd, Key: "obj", Elem: "x"})
+	pump(engines, "a")
+	pump(engines, "b") // back-propagates once (classic)...
+	if sent := pump(engines, "a"); len(sent) != 0 {
+		t.Errorf("second echo should die at the per-object inflation check")
+	}
+}
+
+func TestConfigIDBytesDefault(t *testing.T) {
+	// Without IDBytes, metadata accounting uses actual id lengths: the
+	// scuttlebutt digest for 2 nodes of 1-char ids is 2*(1+8) = 18 bytes.
+	a, _ := twoNodes(protocol.NewScuttlebutt(), workload.GSetType{})
+	var meta int
+	a.LocalOp(addOp("x"))
+	a.Sync(func(_ string, m protocol.Msg) { meta = m.Cost().MetadataBytes })
+	if meta != 18 {
+		t.Errorf("digest metadata = %d, want 18", meta)
+	}
+}

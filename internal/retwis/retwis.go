@@ -1,0 +1,258 @@
+// Package retwis models the Retwis Twitter-clone application of the
+// paper's macro evaluation (§V-C, Table II). Every user owns three CRDT
+// objects — a follower GSet, a wall GMap (tweet id → content), and a
+// timeline GMap (timestamp key → tweet id) — all stored in one replicated
+// keyspace (a grow-only map of objects), and the workload mixes Follow
+// (15 %), Post Tweet (35 %) and Timeline reads (50 %), with object choice
+// driven by a Zipf distribution whose coefficient sets contention.
+//
+// Substitution note: the paper runs the real Retwis on a 50-node cluster;
+// here the application is modeled in-process with the same object schema,
+// op mix, payload sizes (31 B tweet ids, 270 B contents), and Zipf object
+// selection, so the synchronization code paths exercised are identical.
+package retwis
+
+import (
+	"fmt"
+	"math/rand"
+
+	"crdtsync/internal/crdt"
+	"crdtsync/internal/lattice"
+	"crdtsync/internal/workload"
+)
+
+// TweetIDBytes is the tweet identifier size reported by the paper (31 B).
+const TweetIDBytes = 31
+
+// ContentBytes is the tweet content size reported by the paper (270 B).
+const ContentBytes = 270
+
+// Object key prefixes.
+const (
+	followersPrefix = "flw:"
+	wallPrefix      = "wal:"
+	timelinePrefix  = "tml:"
+)
+
+// FollowersKey returns the object key of user u's follower set.
+func FollowersKey(u int) string { return fmt.Sprintf("%su%06d", followersPrefix, u) }
+
+// WallKey returns the object key of user u's wall.
+func WallKey(u int) string { return fmt.Sprintf("%su%06d", wallPrefix, u) }
+
+// TimelineKey returns the object key of user u's timeline.
+func TimelineKey(u int) string { return fmt.Sprintf("%su%06d", timelinePrefix, u) }
+
+// StoreType adapts the whole Retwis keyspace — a grow-only map from object
+// keys to object states — to the protocol engines. Object kinds by key
+// prefix: follower sets are GSets (KindAdd ops); walls and timelines are
+// maps of LWW registers (KindPut ops with Elem as the inner key).
+type StoreType struct{}
+
+// Name implements workload.Datatype.
+func (StoreType) Name() string { return "retwis" }
+
+// New implements workload.Datatype.
+func (StoreType) New() lattice.State { return crdt.NewGMap() }
+
+// Delta implements workload.Datatype, producing {objectKey ↦ innerDelta}.
+func (StoreType) Delta(s lattice.State, replica string, op workload.Op) lattice.State {
+	store := s.(*crdt.GMap)
+	switch op.Kind {
+	case workload.KindAdd: // follow: add Elem to the follower GSet at Key
+		var inner *crdt.GSet
+		if cur := store.Get(op.Key); cur != nil {
+			inner = cur.(*crdt.GSet)
+		} else {
+			inner = crdt.NewGSet()
+		}
+		return lattice.NewMapEntry(op.Key, inner.AddDelta(op.Elem))
+	case workload.KindPut: // tweet write: wall/timeline LWW put Elem → Value
+		var inner *crdt.GMap
+		if cur := store.Get(op.Key); cur != nil {
+			inner = cur.(*crdt.GMap)
+		} else {
+			inner = crdt.NewGMap()
+		}
+		var ts uint64 = 1
+		if reg := inner.Get(op.Elem); reg != nil {
+			ts = reg.(*crdt.LWWRegister).TS + 1
+		}
+		entry := lattice.NewMapEntry(op.Elem, &crdt.LWWRegister{TS: ts, Writer: replica, Val: op.Value})
+		return lattice.NewMapEntry(op.Key, entry)
+	default:
+		panic("retwis: unsupported op kind")
+	}
+}
+
+// OpBytes implements workload.Datatype.
+func (StoreType) OpBytes(op workload.Op) int {
+	return len(op.Key) + len(op.Elem) + len(op.Value)
+}
+
+// followerSetType is the per-object datatype of follower sets: a GSet
+// receiving KindAdd ops.
+type followerSetType struct{}
+
+func (followerSetType) Name() string               { return "retwis-followers" }
+func (followerSetType) New() lattice.State         { return crdt.NewGSet() }
+func (followerSetType) OpBytes(op workload.Op) int { return len(op.Elem) }
+
+func (followerSetType) Delta(s lattice.State, _ string, op workload.Op) lattice.State {
+	if op.Kind != workload.KindAdd {
+		panic("retwis: follower set supports only KindAdd")
+	}
+	return s.(*crdt.GSet).AddDelta(op.Elem)
+}
+
+// tweetMapType is the per-object datatype of walls and timelines: a
+// grow-only map of LWW registers receiving KindPut ops (Elem is the inner
+// key, Value the payload).
+type tweetMapType struct{}
+
+func (tweetMapType) Name() string       { return "retwis-tweets" }
+func (tweetMapType) New() lattice.State { return crdt.NewGMap() }
+func (tweetMapType) OpBytes(op workload.Op) int {
+	return len(op.Elem) + len(op.Value)
+}
+
+func (tweetMapType) Delta(s lattice.State, replica string, op workload.Op) lattice.State {
+	if op.Kind != workload.KindPut {
+		panic("retwis: tweet map supports only KindPut")
+	}
+	m := s.(*crdt.GMap)
+	var ts uint64 = 1
+	if reg := m.Get(op.Elem); reg != nil {
+		ts = reg.(*crdt.LWWRegister).TS + 1
+	}
+	return lattice.NewMapEntry(op.Elem, &crdt.LWWRegister{TS: ts, Writer: replica, Val: op.Value})
+}
+
+// ObjectDatatype selects the per-object datatype from an object key, for
+// use with protocol.NewPerObject: follower sets are GSets; walls and
+// timelines are maps of LWW registers.
+func ObjectDatatype(key string) workload.Datatype {
+	if len(key) >= len(followersPrefix) && key[:len(followersPrefix)] == followersPrefix {
+		return followerSetType{}
+	}
+	return tweetMapType{}
+}
+
+// Stats counts the generated workload, reproducing Table II.
+type Stats struct {
+	Follows   int
+	Posts     int
+	Timelines int
+	// Updates per operation class.
+	FollowUpdates int
+	PostUpdates   int
+}
+
+// TotalOps returns the number of user actions generated.
+func (s Stats) TotalOps() int { return s.Follows + s.Posts + s.Timelines }
+
+// Gen generates the Retwis workload. It keeps a model of the social graph
+// (who follows whom) so that Post Tweet can fan out to follower timelines,
+// mirroring the application logic the paper runs against the real store.
+type Gen struct {
+	// Users is the number of users (the paper uses 10 000).
+	Users int
+	// OpsPerRound is the number of user actions each node performs per
+	// round.
+	OpsPerRound int
+
+	zipf      *workload.Zipf
+	rng       *rand.Rand
+	followers map[int][]int
+	isFollow  map[[2]int]bool
+	tweets    int
+	content   string
+	stats     Stats
+}
+
+// NewGen returns a generator over users with the given Zipf coefficient.
+func NewGen(users, opsPerRound int, theta float64, seed int64) *Gen {
+	if users < 2 {
+		panic("retwis: NewGen requires at least 2 users")
+	}
+	content := make([]byte, ContentBytes)
+	for i := range content {
+		content[i] = 'a' + byte(i%26)
+	}
+	return &Gen{
+		Users:       users,
+		OpsPerRound: opsPerRound,
+		zipf:        workload.NewZipf(users, theta, seed),
+		rng:         rand.New(rand.NewSource(seed + 1)),
+		followers:   make(map[int][]int),
+		isFollow:    make(map[[2]int]bool),
+		content:     string(content),
+	}
+}
+
+// Stats returns the workload counts generated so far.
+func (g *Gen) Stats() Stats { return g.stats }
+
+// Ops implements workload.Generator: OpsPerRound user actions drawn from
+// the 15/35/50 mix of Table II.
+func (g *Gen) Ops(_ int, _ string, _, _ int) []workload.Op {
+	var ops []workload.Op
+	for i := 0; i < g.OpsPerRound; i++ {
+		switch p := g.rng.Float64(); {
+		case p < 0.15:
+			ops = append(ops, g.follow()...)
+		case p < 0.50:
+			ops = append(ops, g.post()...)
+		default:
+			g.stats.Timelines++ // timeline read: zero updates
+		}
+	}
+	return ops
+}
+
+// follow makes a Zipf-chosen user follow another (1 CRDT update).
+func (g *Gen) follow() []workload.Op {
+	g.stats.Follows++
+	g.stats.FollowUpdates++
+	a := g.zipf.Next()
+	b := g.zipf.Next()
+	if a == b {
+		b = (b + 1) % g.Users
+	}
+	key := [2]int{a, b}
+	if !g.isFollow[key] {
+		g.isFollow[key] = true
+		g.followers[b] = append(g.followers[b], a)
+	}
+	return []workload.Op{{
+		Kind: workload.KindAdd,
+		Key:  FollowersKey(b),
+		Elem: fmt.Sprintf("u%06d", a),
+	}}
+}
+
+// post makes a Zipf-chosen user tweet: one wall write plus one timeline
+// write per follower (1 + #Followers updates, Table II).
+func (g *Gen) post() []workload.Op {
+	g.stats.Posts++
+	author := g.zipf.Next()
+	g.tweets++
+	tweetID := fmt.Sprintf("t%0*d", TweetIDBytes-1, g.tweets)
+	ops := []workload.Op{{
+		Kind:  workload.KindPut,
+		Key:   WallKey(author),
+		Elem:  tweetID,
+		Value: g.content,
+	}}
+	tsKey := fmt.Sprintf("ts%012d", g.tweets)
+	for _, f := range g.followers[author] {
+		ops = append(ops, workload.Op{
+			Kind:  workload.KindPut,
+			Key:   TimelineKey(f),
+			Elem:  tsKey,
+			Value: tweetID,
+		})
+	}
+	g.stats.PostUpdates += len(ops)
+	return ops
+}

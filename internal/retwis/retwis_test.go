@@ -1,0 +1,179 @@
+package retwis_test
+
+import (
+	"strings"
+	"testing"
+
+	"crdtsync/internal/crdt"
+	"crdtsync/internal/retwis"
+	"crdtsync/internal/workload"
+)
+
+func TestKeys(t *testing.T) {
+	if k := retwis.FollowersKey(7); k != "flw:u000007" {
+		t.Errorf("FollowersKey = %q", k)
+	}
+	if k := retwis.WallKey(7); !strings.HasPrefix(k, "wal:") {
+		t.Errorf("WallKey = %q", k)
+	}
+	if k := retwis.TimelineKey(7); !strings.HasPrefix(k, "tml:") {
+		t.Errorf("TimelineKey = %q", k)
+	}
+}
+
+func TestObjectDatatypeSelection(t *testing.T) {
+	if dt := retwis.ObjectDatatype(retwis.FollowersKey(1)); dt.Name() != "retwis-followers" {
+		t.Errorf("followers datatype = %s", dt.Name())
+	}
+	if dt := retwis.ObjectDatatype(retwis.WallKey(1)); dt.Name() != "retwis-tweets" {
+		t.Errorf("wall datatype = %s", dt.Name())
+	}
+	if dt := retwis.ObjectDatatype(retwis.TimelineKey(1)); dt.Name() != "retwis-tweets" {
+		t.Errorf("timeline datatype = %s", dt.Name())
+	}
+}
+
+func TestGenOpMix(t *testing.T) {
+	gen := retwis.NewGen(100, 10, 1.0, 1)
+	for r := 0; r < 200; r++ {
+		gen.Ops(r, "n00", 0, 1)
+	}
+	s := gen.Stats()
+	total := float64(s.TotalOps())
+	if total == 0 {
+		t.Fatal("no ops generated")
+	}
+	check := func(name string, n int, want float64) {
+		got := float64(n) / total
+		if got < want-0.05 || got > want+0.05 {
+			t.Errorf("%s share = %.3f, want ≈%.2f", name, got, want)
+		}
+	}
+	check("follow", s.Follows, 0.15)
+	check("post", s.Posts, 0.35)
+	check("timeline", s.Timelines, 0.50)
+}
+
+func TestFollowOpShape(t *testing.T) {
+	gen := retwis.NewGen(50, 1, 1.0, 2)
+	var follow *workload.Op
+	for r := 0; r < 100 && follow == nil; r++ {
+		for _, op := range gen.Ops(r, "n00", 0, 1) {
+			if op.Kind == workload.KindAdd {
+				follow = &op
+				break
+			}
+		}
+	}
+	if follow == nil {
+		t.Fatal("no follow generated in 100 rounds")
+	}
+	if !strings.HasPrefix(follow.Key, "flw:") {
+		t.Errorf("follow targets %q, want a followers object", follow.Key)
+	}
+	if !strings.HasPrefix(follow.Elem, "u") {
+		t.Errorf("follower id %q", follow.Elem)
+	}
+}
+
+func TestPostFansOutToFollowers(t *testing.T) {
+	gen := retwis.NewGen(10, 200, 0.0, 3) // many ops: builds followers fast
+	// Warm up so follows accumulate, then inspect a late round.
+	var posts, timelineWrites int
+	for r := 0; r < 30; r++ {
+		for _, op := range gen.Ops(r, "n00", 0, 1) {
+			if op.Kind == workload.KindPut && strings.HasPrefix(op.Key, "wal:") {
+				posts++
+			}
+			if op.Kind == workload.KindPut && strings.HasPrefix(op.Key, "tml:") {
+				timelineWrites++
+			}
+		}
+	}
+	if posts == 0 {
+		t.Fatal("no posts generated")
+	}
+	if timelineWrites == 0 {
+		t.Error("posts never fanned out to follower timelines")
+	}
+	s := gen.Stats()
+	if got := float64(s.PostUpdates) / float64(s.Posts); got < 1 {
+		t.Errorf("avg updates per post = %.2f, want ≥ 1", got)
+	}
+}
+
+func TestTweetSizes(t *testing.T) {
+	gen := retwis.NewGen(10, 50, 0.0, 4)
+	for r := 0; r < 20; r++ {
+		for _, op := range gen.Ops(r, "n00", 0, 1) {
+			if op.Kind != workload.KindPut {
+				continue
+			}
+			if strings.HasPrefix(op.Key, "wal:") {
+				if len(op.Elem) != retwis.TweetIDBytes {
+					t.Fatalf("tweet id size = %d, want %d", len(op.Elem), retwis.TweetIDBytes)
+				}
+				if len(op.Value) != retwis.ContentBytes {
+					t.Fatalf("content size = %d, want %d", len(op.Value), retwis.ContentBytes)
+				}
+			}
+			if strings.HasPrefix(op.Key, "tml:") {
+				if len(op.Value) != retwis.TweetIDBytes {
+					t.Fatalf("timeline value size = %d, want tweet id (%d)", len(op.Value), retwis.TweetIDBytes)
+				}
+			}
+		}
+	}
+}
+
+func TestStoreTypeDeltas(t *testing.T) {
+	st := retwis.StoreType{}
+	s := st.New()
+	// Follow.
+	d := st.Delta(s, "n00", workload.Op{Kind: workload.KindAdd, Key: retwis.FollowersKey(1), Elem: "u000002"})
+	s.Merge(d)
+	// Tweet.
+	d = st.Delta(s, "n00", workload.Op{Kind: workload.KindPut, Key: retwis.WallKey(2), Elem: "t01", Value: "hello"})
+	s.Merge(d)
+	store := s.(*crdt.GMap)
+	followers := store.Get(retwis.FollowersKey(1)).(*crdt.GSet)
+	if !followers.Contains("u000002") {
+		t.Error("follow not recorded")
+	}
+	wall := store.Get(retwis.WallKey(2)).(*crdt.GMap)
+	if got := wall.Get("t01").(*crdt.LWWRegister).Value(); got != "hello" {
+		t.Errorf("wall value = %q", got)
+	}
+	// Overwriting a tweet bumps the LWW version.
+	d = st.Delta(s, "n01", workload.Op{Kind: workload.KindPut, Key: retwis.WallKey(2), Elem: "t01", Value: "edited"})
+	s.Merge(d)
+	if got := wall.Get("t01").(*crdt.LWWRegister).TS; got != 2 {
+		t.Errorf("ts after rewrite = %d, want 2", got)
+	}
+}
+
+func TestGenValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewGen with 1 user should panic")
+		}
+	}()
+	retwis.NewGen(1, 1, 1.0, 1)
+}
+
+func TestGenDeterminism(t *testing.T) {
+	a := retwis.NewGen(100, 5, 1.0, 9)
+	b := retwis.NewGen(100, 5, 1.0, 9)
+	for r := 0; r < 20; r++ {
+		oa := a.Ops(r, "n00", 0, 1)
+		ob := b.Ops(r, "n00", 0, 1)
+		if len(oa) != len(ob) {
+			t.Fatalf("round %d: op counts differ", r)
+		}
+		for i := range oa {
+			if oa[i] != ob[i] {
+				t.Fatalf("round %d op %d: %+v vs %+v", r, i, oa[i], ob[i])
+			}
+		}
+	}
+}

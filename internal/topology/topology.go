@@ -1,0 +1,282 @@
+// Package topology builds the network graphs used in the paper's
+// evaluation (Figure 6): a partial mesh where every node has a fixed number
+// of neighbors, and a tree, plus auxiliary shapes (ring, line, full mesh,
+// star) used by tests and ablations.
+//
+// Graphs are undirected, connected, and deterministic for a given seed, so
+// experiments are reproducible.
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Graph is an undirected graph over string node identifiers.
+type Graph struct {
+	nodes []string
+	adj   map[string]map[string]struct{}
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{adj: make(map[string]map[string]struct{})}
+}
+
+// AddNode inserts a node (idempotent).
+func (g *Graph) AddNode(id string) {
+	if _, ok := g.adj[id]; ok {
+		return
+	}
+	g.adj[id] = make(map[string]struct{})
+	g.nodes = append(g.nodes, id)
+	sort.Strings(g.nodes)
+}
+
+// AddEdge inserts an undirected edge, adding endpoints as needed.
+// Self-loops are rejected.
+func (g *Graph) AddEdge(a, b string) {
+	if a == b {
+		panic("topology: self-loop " + a)
+	}
+	g.AddNode(a)
+	g.AddNode(b)
+	g.adj[a][b] = struct{}{}
+	g.adj[b][a] = struct{}{}
+}
+
+// Nodes returns all node ids in sorted order.
+func (g *Graph) Nodes() []string {
+	out := make([]string, len(g.nodes))
+	copy(out, g.nodes)
+	return out
+}
+
+// Neighbors returns the sorted neighbor list of id.
+func (g *Graph) Neighbors(id string) []string {
+	out := make([]string, 0, len(g.adj[id]))
+	for n := range g.adj[id] {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Degree returns the number of neighbors of id.
+func (g *Graph) Degree(id string) int { return len(g.adj[id]) }
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges returns the undirected edge count.
+func (g *Graph) NumEdges() int {
+	n := 0
+	for _, nb := range g.adj {
+		n += len(nb)
+	}
+	return n / 2
+}
+
+// HasEdge reports whether a and b are adjacent.
+func (g *Graph) HasEdge(a, b string) bool {
+	_, ok := g.adj[a][b]
+	return ok
+}
+
+// Connected reports whether the graph is connected (empty graphs are).
+func (g *Graph) Connected() bool {
+	if len(g.nodes) == 0 {
+		return true
+	}
+	seen := map[string]struct{}{g.nodes[0]: {}}
+	stack := []string{g.nodes[0]}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for n := range g.adj[cur] {
+			if _, ok := seen[n]; !ok {
+				seen[n] = struct{}{}
+				stack = append(stack, n)
+			}
+		}
+	}
+	return len(seen) == len(g.nodes)
+}
+
+// IsAcyclic reports whether the undirected graph has no cycles
+// (i.e. it is a forest). Trees satisfy this; meshes do not.
+func (g *Graph) IsAcyclic() bool {
+	return g.NumEdges() == g.NumNodes()-len(g.components())
+}
+
+func (g *Graph) components() [][]string {
+	var comps [][]string
+	seen := make(map[string]struct{})
+	for _, start := range g.nodes {
+		if _, ok := seen[start]; ok {
+			continue
+		}
+		var comp []string
+		stack := []string{start}
+		seen[start] = struct{}{}
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, cur)
+			for n := range g.adj[cur] {
+				if _, ok := seen[n]; !ok {
+					seen[n] = struct{}{}
+					stack = append(stack, n)
+				}
+			}
+		}
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// nodeID formats the canonical node identifier used across the repository:
+// n00, n01, ... (two digits up to 99, then wider).
+func nodeID(i int) string { return fmt.Sprintf("n%02d", i) }
+
+// NodeIDs returns the canonical identifiers for n nodes.
+func NodeIDs(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = nodeID(i)
+	}
+	return out
+}
+
+// Line returns a path topology n00 — n01 — ... — n(k-1).
+func Line(n int) *Graph {
+	g := NewGraph()
+	if n <= 0 {
+		return g
+	}
+	g.AddNode(nodeID(0))
+	for i := 1; i < n; i++ {
+		g.AddEdge(nodeID(i-1), nodeID(i))
+	}
+	return g
+}
+
+// Ring returns a cycle topology (n ≥ 3).
+func Ring(n int) *Graph {
+	if n < 3 {
+		panic("topology: Ring requires at least 3 nodes")
+	}
+	g := Line(n)
+	g.AddEdge(nodeID(n-1), nodeID(0))
+	return g
+}
+
+// Full returns the complete graph on n nodes.
+func Full(n int) *Graph {
+	g := NewGraph()
+	for i := 0; i < n; i++ {
+		g.AddNode(nodeID(i))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(nodeID(i), nodeID(j))
+		}
+	}
+	return g
+}
+
+// Star returns a star with node n00 at the center.
+func Star(n int) *Graph {
+	g := NewGraph()
+	if n <= 0 {
+		return g
+	}
+	g.AddNode(nodeID(0))
+	for i := 1; i < n; i++ {
+		g.AddEdge(nodeID(0), nodeID(i))
+	}
+	return g
+}
+
+// Tree returns the paper's tree topology: a rooted tree where each internal
+// node has `children` children (Figure 6 right uses children = 2, giving 3
+// neighbors per internal node, 2 for the root, 1 for leaves).
+func Tree(n, children int) *Graph {
+	if children < 1 {
+		panic("topology: Tree requires children >= 1")
+	}
+	g := NewGraph()
+	if n <= 0 {
+		return g
+	}
+	g.AddNode(nodeID(0))
+	for i := 1; i < n; i++ {
+		parent := (i - 1) / children
+		g.AddEdge(nodeID(parent), nodeID(i))
+	}
+	return g
+}
+
+// PartialMesh returns the paper's partial-mesh topology: a connected graph
+// where every node has exactly degree k (Figure 6 left uses n = 15, k = 4).
+// n*k must be even and k < n. The construction starts from a ring (which
+// guarantees connectivity) and adds chords deterministically from seed,
+// preferring low-degree nodes, then repairs any remaining deficit with a
+// deterministic augmenting pass.
+func PartialMesh(n, k int, seed int64) *Graph {
+	if k >= n {
+		panic("topology: PartialMesh requires k < n")
+	}
+	if n*k%2 != 0 {
+		panic("topology: PartialMesh requires n*k even")
+	}
+	if k < 2 {
+		panic("topology: PartialMesh requires k >= 2")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for attempt := 0; attempt < 100; attempt++ {
+		g := Ring(n)
+		if k == 2 {
+			return g
+		}
+		if tryFillDegrees(g, n, k, rng) {
+			return g
+		}
+	}
+	panic(fmt.Sprintf("topology: PartialMesh(%d,%d) failed to converge", n, k))
+}
+
+// tryFillDegrees adds chords until every node has degree k; returns false
+// if the random pairing deadlocks (caller retries with fresh randomness).
+func tryFillDegrees(g *Graph, n, k int, rng *rand.Rand) bool {
+	deficit := func(id string) int { return k - g.Degree(id) }
+	for {
+		var open []string
+		for _, id := range g.Nodes() {
+			if deficit(id) > 0 {
+				open = append(open, id)
+			}
+		}
+		if len(open) == 0 {
+			return true
+		}
+		if len(open) == 1 {
+			return false
+		}
+		// Pick two distinct non-adjacent open nodes at random.
+		paired := false
+		for tries := 0; tries < 4*len(open)*len(open); tries++ {
+			a := open[rng.Intn(len(open))]
+			b := open[rng.Intn(len(open))]
+			if a != b && !g.HasEdge(a, b) {
+				g.AddEdge(a, b)
+				paired = true
+				break
+			}
+		}
+		if !paired {
+			return false
+		}
+	}
+}

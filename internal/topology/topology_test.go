@@ -1,0 +1,151 @@
+package topology_test
+
+import (
+	"testing"
+
+	"crdtsync/internal/topology"
+)
+
+func TestPartialMeshPaperShape(t *testing.T) {
+	// Figure 6 left: 15 nodes, every node with exactly 4 neighbors.
+	g := topology.PartialMesh(15, 4, 1)
+	if g.NumNodes() != 15 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	for _, id := range g.Nodes() {
+		if d := g.Degree(id); d != 4 {
+			t.Errorf("node %s degree = %d, want 4", id, d)
+		}
+	}
+	if !g.Connected() {
+		t.Error("mesh must be connected")
+	}
+	if g.IsAcyclic() {
+		t.Error("mesh must contain cycles")
+	}
+	if got, want := g.NumEdges(), 15*4/2; got != want {
+		t.Errorf("edges = %d, want %d", got, want)
+	}
+}
+
+func TestPartialMeshDeterministic(t *testing.T) {
+	a := topology.PartialMesh(15, 4, 7)
+	b := topology.PartialMesh(15, 4, 7)
+	for _, id := range a.Nodes() {
+		na, nb := a.Neighbors(id), b.Neighbors(id)
+		if len(na) != len(nb) {
+			t.Fatalf("node %s: neighbor counts differ", id)
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				t.Fatalf("node %s: same seed produced different graphs", id)
+			}
+		}
+	}
+}
+
+func TestPartialMeshValidation(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{{5, 5}, {5, 3}, {4, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("PartialMesh(%d,%d) should panic", tc.n, tc.k)
+				}
+			}()
+			topology.PartialMesh(tc.n, tc.k, 1)
+		}()
+	}
+}
+
+func TestTreePaperShape(t *testing.T) {
+	// Figure 6 right: 15-node tree, internal nodes have 3 neighbors,
+	// the root 2, leaves 1.
+	g := topology.Tree(15, 2)
+	if g.NumNodes() != 15 || g.NumEdges() != 14 {
+		t.Fatalf("nodes=%d edges=%d", g.NumNodes(), g.NumEdges())
+	}
+	if !g.Connected() || !g.IsAcyclic() {
+		t.Error("tree must be connected and acyclic")
+	}
+	if d := g.Degree("n00"); d != 2 {
+		t.Errorf("root degree = %d, want 2", d)
+	}
+	maxDeg := 0
+	for _, id := range g.Nodes() {
+		if d := g.Degree(id); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if maxDeg != 3 {
+		t.Errorf("max degree = %d, want 3", maxDeg)
+	}
+}
+
+func TestLineRingFullStar(t *testing.T) {
+	if g := topology.Line(5); g.NumEdges() != 4 || !g.IsAcyclic() {
+		t.Error("line shape wrong")
+	}
+	if g := topology.Ring(5); g.NumEdges() != 5 || g.IsAcyclic() {
+		t.Error("ring shape wrong")
+	}
+	if g := topology.Full(5); g.NumEdges() != 10 {
+		t.Error("full graph shape wrong")
+	}
+	g := topology.Star(5)
+	if g.Degree("n00") != 4 || g.NumEdges() != 4 {
+		t.Error("star shape wrong")
+	}
+	for _, tg := range []*topology.Graph{topology.Line(5), topology.Ring(5), topology.Full(5), topology.Star(5)} {
+		if !tg.Connected() {
+			t.Error("auxiliary topology not connected")
+		}
+	}
+}
+
+func TestGraphBasics(t *testing.T) {
+	g := topology.NewGraph()
+	g.AddEdge("a", "b")
+	g.AddEdge("b", "c")
+	if !g.HasEdge("a", "b") || !g.HasEdge("b", "a") {
+		t.Error("edges must be undirected")
+	}
+	if g.HasEdge("a", "c") {
+		t.Error("phantom edge")
+	}
+	if nb := g.Neighbors("b"); len(nb) != 2 || nb[0] != "a" || nb[1] != "c" {
+		t.Errorf("Neighbors(b) = %v", nb)
+	}
+	// Idempotent node add.
+	g.AddNode("a")
+	if g.NumNodes() != 3 {
+		t.Errorf("NumNodes = %d", g.NumNodes())
+	}
+}
+
+func TestSelfLoopPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("self-loop should panic")
+		}
+	}()
+	topology.NewGraph().AddEdge("a", "a")
+}
+
+func TestNodeIDs(t *testing.T) {
+	ids := topology.NodeIDs(3)
+	if len(ids) != 3 || ids[0] != "n00" || ids[2] != "n02" {
+		t.Errorf("NodeIDs = %v", ids)
+	}
+}
+
+func TestDisconnectedGraph(t *testing.T) {
+	g := topology.NewGraph()
+	g.AddEdge("a", "b")
+	g.AddEdge("c", "d")
+	if g.Connected() {
+		t.Error("two components should not be connected")
+	}
+	if !g.IsAcyclic() {
+		t.Error("forest should be acyclic")
+	}
+}

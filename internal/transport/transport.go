@@ -1,0 +1,320 @@
+// Package transport runs protocol engines over real TCP connections,
+// turning the library into a deployable replica: each Node owns one engine,
+// listens for frames from its neighbors, and drives the engine's periodic
+// synchronization on a ticker. Frames are length-prefixed: a 4-byte
+// big-endian length, the sender id (length-prefixed), and one
+// codec-encoded protocol message.
+//
+// The simulator (package netsim) remains the measurement substrate — this
+// package is the production path, exercised by loopback integration tests
+// and the tcpcluster example.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"crdtsync/internal/codec"
+	"crdtsync/internal/lattice"
+	"crdtsync/internal/protocol"
+	"crdtsync/internal/workload"
+)
+
+// maxFrameBytes bounds a single frame (64 MiB) to fail fast on corrupt
+// length prefixes.
+const maxFrameBytes = 64 << 20
+
+// ErrFrameTooLarge reports a frame exceeding maxFrameBytes.
+var ErrFrameTooLarge = errors.New("transport: frame too large")
+
+// Config describes one replica process.
+type Config struct {
+	// ID is this replica's identifier.
+	ID string
+	// ListenAddr is the TCP address to accept neighbor frames on.
+	ListenAddr string
+	// Listener, when non-nil, is used instead of binding ListenAddr —
+	// callers that need every address known before wiring the peer maps
+	// bind first and pass the listeners in.
+	Listener net.Listener
+	// Peers maps neighbor ids to their listen addresses.
+	Peers map[string]string
+	// Nodes is the full membership (sorted); defaults to ID + peers.
+	Nodes []string
+	// Datatype adapts the replicated CRDT.
+	Datatype workload.Datatype
+	// Factory builds the protocol engine (e.g. protocol.NewDeltaBPRR()).
+	Factory protocol.Factory
+	// SyncEvery is the synchronization period (default 1s, the paper's
+	// interval).
+	SyncEvery time.Duration
+}
+
+// Node is a live replica: an engine plus its network plumbing.
+// All engine access is serialized by an internal mutex; Update and Query
+// are safe for concurrent use. Network writes happen outside the engine
+// lock (outbound frames are buffered while the engine runs, then flushed),
+// so a slow peer can never deadlock message handling.
+type Node struct {
+	cfg      Config
+	ln       net.Listener
+	engine   protocol.Engine
+	mu       sync.Mutex // guards engine
+	connMu   sync.Mutex // guards conns and accepted
+	conns    map[string]net.Conn
+	accepted map[net.Conn]struct{}
+	stopping chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// outFrame is a frame captured under the engine lock, flushed after it is
+// released.
+type outFrame struct {
+	to   string
+	data []byte
+}
+
+// Start builds the engine, binds the listener, and launches the accept
+// and synchronization loops.
+func Start(cfg Config) (*Node, error) {
+	if cfg.SyncEvery <= 0 {
+		cfg.SyncEvery = time.Second
+	}
+	neighbors := make([]string, 0, len(cfg.Peers))
+	for id := range cfg.Peers {
+		neighbors = append(neighbors, id)
+	}
+	sort.Strings(neighbors)
+	nodes := cfg.Nodes
+	if nodes == nil {
+		nodes = append([]string{cfg.ID}, neighbors...)
+		sort.Strings(nodes)
+	}
+	engine := cfg.Factory(protocol.Config{
+		ID:        cfg.ID,
+		Neighbors: neighbors,
+		Nodes:     nodes,
+		Datatype:  cfg.Datatype,
+	})
+	ln := cfg.Listener
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", cfg.ListenAddr)
+		if err != nil {
+			return nil, fmt.Errorf("transport: listen %s: %w", cfg.ListenAddr, err)
+		}
+	}
+	n := &Node{
+		cfg:      cfg,
+		ln:       ln,
+		engine:   engine,
+		conns:    make(map[string]net.Conn),
+		accepted: make(map[net.Conn]struct{}),
+		stopping: make(chan struct{}),
+	}
+	n.wg.Add(2)
+	go n.acceptLoop()
+	go n.syncLoop()
+	return n, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+// ID returns the replica identifier.
+func (n *Node) ID() string { return n.cfg.ID }
+
+// withEngine runs fn under the engine lock, collecting outbound messages,
+// and flushes them over TCP after the lock is released.
+func (n *Node) withEngine(fn func(send protocol.Sender)) {
+	var out []outFrame
+	n.mu.Lock()
+	fn(func(to string, m protocol.Msg) {
+		data, err := codec.EncodeMsg(m)
+		if err != nil {
+			// Engine produced an unencodable message: a programming
+			// error in the engine/codec pairing.
+			panic(err)
+		}
+		out = append(out, outFrame{to: to, data: data})
+	})
+	n.mu.Unlock()
+	for _, f := range out {
+		n.transmit(f)
+	}
+}
+
+// Update applies one local operation.
+func (n *Node) Update(op workload.Op) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.engine.LocalOp(op)
+}
+
+// Query runs fn against a snapshot of the local state.
+func (n *Node) Query(fn func(s lattice.State)) {
+	n.mu.Lock()
+	snapshot := n.engine.State().Clone()
+	n.mu.Unlock()
+	fn(snapshot)
+}
+
+// SyncNow forces one synchronization step outside the ticker.
+func (n *Node) SyncNow() {
+	n.withEngine(func(send protocol.Sender) { n.engine.Sync(send) })
+}
+
+// Close stops the loops and closes every connection. It is idempotent.
+func (n *Node) Close() error {
+	n.stopOnce.Do(func() { close(n.stopping) })
+	err := n.ln.Close()
+	n.connMu.Lock()
+	for _, c := range n.conns {
+		c.Close()
+	}
+	n.conns = make(map[string]net.Conn)
+	// Accepted connections park their readLoops in blocking reads;
+	// closing them here is what lets wg.Wait return.
+	for c := range n.accepted {
+		c.Close()
+	}
+	n.connMu.Unlock()
+	n.wg.Wait()
+	return err
+}
+
+// transmit writes one frame, dialing the peer if needed. Failures are
+// dropped: anti-entropy protocols resend on the next tick.
+func (n *Node) transmit(f outFrame) {
+	n.connMu.Lock()
+	defer n.connMu.Unlock()
+	conn, err := n.dialLocked(f.to)
+	if err != nil {
+		return // neighbor down; protocols retry next tick
+	}
+	if err := writeFrame(conn, n.cfg.ID, f.data); err != nil {
+		conn.Close()
+		delete(n.conns, f.to)
+	}
+}
+
+// dialLocked returns (establishing if needed) the connection to a peer;
+// callers hold n.connMu.
+func (n *Node) dialLocked(to string) (net.Conn, error) {
+	if c, ok := n.conns[to]; ok {
+		return c, nil
+	}
+	addr, ok := n.cfg.Peers[to]
+	if !ok {
+		return nil, fmt.Errorf("transport: unknown peer %s", to)
+	}
+	c, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	n.conns[to] = c
+	return c, nil
+}
+
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			select {
+			case <-n.stopping:
+				return
+			default:
+				continue
+			}
+		}
+		n.connMu.Lock()
+		n.accepted[conn] = struct{}{}
+		n.connMu.Unlock()
+		n.wg.Add(1)
+		go n.readLoop(conn)
+	}
+}
+
+func (n *Node) readLoop(conn net.Conn) {
+	defer n.wg.Done()
+	defer func() {
+		conn.Close()
+		n.connMu.Lock()
+		delete(n.accepted, conn)
+		n.connMu.Unlock()
+	}()
+	for {
+		from, data, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		msg, _, err := codec.DecodeMsg(data)
+		if err != nil {
+			return // corrupt peer; drop the connection
+		}
+		n.withEngine(func(send protocol.Sender) {
+			n.engine.Deliver(from, msg, send)
+		})
+	}
+}
+
+func (n *Node) syncLoop() {
+	defer n.wg.Done()
+	ticker := time.NewTicker(n.cfg.SyncEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.stopping:
+			return
+		case <-ticker.C:
+			n.SyncNow()
+		}
+	}
+}
+
+// writeFrame emits [len][from][msg] with a 4-byte big-endian total length.
+func writeFrame(w io.Writer, from string, msg []byte) error {
+	body := make([]byte, 0, 2+len(from)+len(msg))
+	body = append(body, byte(len(from)>>8), byte(len(from)))
+	body = append(body, from...)
+	body = append(body, msg...)
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// readFrame parses one frame.
+func readFrame(r io.Reader) (from string, msg []byte, err error) {
+	var hdr [4]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return "", nil, err
+	}
+	total := binary.BigEndian.Uint32(hdr[:])
+	if total > maxFrameBytes {
+		return "", nil, ErrFrameTooLarge
+	}
+	body := make([]byte, total)
+	if _, err = io.ReadFull(r, body); err != nil {
+		return "", nil, err
+	}
+	if len(body) < 2 {
+		return "", nil, io.ErrUnexpectedEOF
+	}
+	fromLen := int(body[0])<<8 | int(body[1])
+	if len(body) < 2+fromLen {
+		return "", nil, io.ErrUnexpectedEOF
+	}
+	return string(body[2 : 2+fromLen]), body[2+fromLen:], nil
+}

@@ -1,0 +1,163 @@
+package transport_test
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"crdtsync/internal/crdt"
+	"crdtsync/internal/lattice"
+	"crdtsync/internal/protocol"
+	"crdtsync/internal/transport"
+	"crdtsync/internal/workload"
+)
+
+// startCluster boots n nodes on loopback with the given edges (pairs of
+// node indexes), all running the given factory over GSets.
+func startCluster(t *testing.T, n int, edges [][2]int, factory protocol.Factory) []*transport.Node {
+	t.Helper()
+	ids := make([]string, n)
+	nodes := make([]*transport.Node, n)
+	addrs := make([]string, n)
+	listeners := make([]net.Listener, n)
+	// Bind all listeners first so every address is known before any
+	// engine is constructed with its neighbor set.
+	for i := range ids {
+		ids[i] = fmt.Sprintf("t%02d", i)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	peersOf := make([]map[string]string, n)
+	for i := range peersOf {
+		peersOf[i] = make(map[string]string)
+	}
+	for _, e := range edges {
+		a, b := e[0], e[1]
+		peersOf[a][ids[b]] = addrs[b]
+		peersOf[b][ids[a]] = addrs[a]
+	}
+	for i := 0; i < n; i++ {
+		cfg := transport.Config{
+			ID:        ids[i],
+			Listener:  listeners[i],
+			Peers:     peersOf[i],
+			Nodes:     ids,
+			Datatype:  workload.GSetType{},
+			Factory:   factory,
+			SyncEvery: 20 * time.Millisecond,
+		}
+		node, err := transport.Start(cfg)
+		if err != nil {
+			t.Fatalf("start %s: %v", ids[i], err)
+		}
+		nodes[i] = node
+		t.Cleanup(func() { node.Close() })
+	}
+	return nodes
+}
+
+// waitConverged polls until every node's state equals want.
+func waitConverged(t *testing.T, nodes []*transport.Node, want lattice.State, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		allEqual := true
+		for _, n := range nodes {
+			n.Query(func(s lattice.State) {
+				if !s.Equal(want) {
+					allEqual = false
+				}
+			})
+		}
+		if allEqual {
+			return
+		}
+		if time.Now().After(deadline) {
+			for _, n := range nodes {
+				n.Query(func(s lattice.State) { t.Logf("%s: %v", n.ID(), s) })
+			}
+			t.Fatal("cluster did not converge in time")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestTwoNodesOverTCP(t *testing.T) {
+	nodes := startCluster(t, 2, [][2]int{{0, 1}}, protocol.NewDeltaBPRR())
+	nodes[0].Update(workload.Op{Kind: workload.KindAdd, Elem: "from-zero"})
+	nodes[1].Update(workload.Op{Kind: workload.KindAdd, Elem: "from-one"})
+	want := crdt.NewGSet("from-zero", "from-one")
+	waitConverged(t, nodes, want, 5*time.Second)
+}
+
+func TestLineClusterMultiHop(t *testing.T) {
+	// t00 — t01 — t02: updates must relay through the middle node.
+	nodes := startCluster(t, 3, [][2]int{{0, 1}, {1, 2}}, protocol.NewDeltaBPRR())
+	nodes[0].Update(workload.Op{Kind: workload.KindAdd, Elem: "end-to-end"})
+	want := crdt.NewGSet("end-to-end")
+	waitConverged(t, nodes, want, 5*time.Second)
+}
+
+func TestRingClusterAllProtocolsOverTCP(t *testing.T) {
+	factories := map[string]protocol.Factory{
+		"state":       protocol.NewStateBased(),
+		"delta-bp+rr": protocol.NewDeltaBPRR(),
+		"delta-acked": protocol.NewDeltaAcked(true, true),
+		"scuttlebutt": protocol.NewScuttlebutt(),
+		"op-based":    protocol.NewOpBased(),
+	}
+	for name, f := range factories {
+		t.Run(name, func(t *testing.T) {
+			edges := [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}}
+			nodes := startCluster(t, 4, edges, f)
+			want := crdt.NewGSet()
+			for i, n := range nodes {
+				e := fmt.Sprintf("elem-%d", i)
+				n.Update(workload.Op{Kind: workload.KindAdd, Elem: e})
+				want.Add(e)
+			}
+			waitConverged(t, nodes, want, 10*time.Second)
+		})
+	}
+}
+
+func TestSyncNowImmediate(t *testing.T) {
+	nodes := startCluster(t, 2, [][2]int{{0, 1}}, protocol.NewDeltaBPRR())
+	nodes[0].Update(workload.Op{Kind: workload.KindAdd, Elem: "now"})
+	nodes[0].SyncNow()
+	want := crdt.NewGSet("now")
+	waitConverged(t, nodes, want, 2*time.Second)
+}
+
+func TestQuerySnapshotIsolation(t *testing.T) {
+	nodes := startCluster(t, 2, [][2]int{{0, 1}}, protocol.NewDeltaBPRR())
+	nodes[0].Update(workload.Op{Kind: workload.KindAdd, Elem: "a"})
+	var snapshot lattice.State
+	nodes[0].Query(func(s lattice.State) { snapshot = s })
+	// Mutating after the query must not affect the snapshot.
+	nodes[0].Update(workload.Op{Kind: workload.KindAdd, Elem: "b"})
+	if snapshot.Elements() != 1 {
+		t.Errorf("snapshot has %d elements, want 1 (isolation broken)", snapshot.Elements())
+	}
+}
+
+func TestCloseIsClean(t *testing.T) {
+	nodes := startCluster(t, 2, [][2]int{{0, 1}}, protocol.NewDeltaBPRR())
+	if err := nodes[0].Close(); err != nil && !isUseOfClosed(err) {
+		t.Errorf("close: %v", err)
+	}
+	// Closing twice-adjacent node still works; remaining node survives
+	// its peer being down (sends are dropped, no panic).
+	nodes[1].Update(workload.Op{Kind: workload.KindAdd, Elem: "alone"})
+	nodes[1].SyncNow()
+}
+
+func isUseOfClosed(err error) bool {
+	return err != nil && bytes.Contains([]byte(err.Error()), []byte("use of closed"))
+}

@@ -1,0 +1,160 @@
+// Package vclock implements version vectors and dots, the causality
+// substrate needed by the Scuttlebutt and operation-based baselines of the
+// paper's evaluation (§V-B) and by the add-wins set extension.
+package vclock
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Dot identifies a single event: the s-th event of replica Actor. Sequence
+// numbers start at 1; sequence 0 never identifies an event.
+type Dot struct {
+	Actor string
+	Seq   uint64
+}
+
+// String renders the dot as actor:seq.
+func (d Dot) String() string { return fmt.Sprintf("%s:%d", d.Actor, d.Seq) }
+
+// VClock is a version vector I ↪ ℕ mapping replicas to the highest
+// contiguous sequence number known. The zero value is unusable; use New.
+type VClock struct {
+	v map[string]uint64
+}
+
+// New returns an empty vector.
+func New() *VClock { return &VClock{v: make(map[string]uint64)} }
+
+// Get returns the sequence recorded for actor (0 if absent).
+func (c *VClock) Get(actor string) uint64 { return c.v[actor] }
+
+// Set records seq for actor if it exceeds the current entry.
+func (c *VClock) Set(actor string, seq uint64) {
+	if seq > c.v[actor] {
+		c.v[actor] = seq
+	}
+}
+
+// Next returns the dot for the next locally generated event of actor and
+// records it in the vector.
+func (c *VClock) Next(actor string) Dot {
+	n := c.v[actor] + 1
+	c.v[actor] = n
+	return Dot{Actor: actor, Seq: n}
+}
+
+// Contains reports whether the vector dominates the dot (d.Seq ≤ entry).
+func (c *VClock) Contains(d Dot) bool { return d.Seq <= c.v[d.Actor] }
+
+// Merge takes the entry-wise max with other in place.
+func (c *VClock) Merge(other *VClock) {
+	for a, s := range other.v {
+		if s > c.v[a] {
+			c.v[a] = s
+		}
+	}
+}
+
+// Leq reports entry-wise dominance: every entry of c is ≤ other's.
+func (c *VClock) Leq(other *VClock) bool {
+	for a, s := range c.v {
+		if s > other.v[a] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports entry-wise equality (absent entries count as 0).
+func (c *VClock) Equal(other *VClock) bool {
+	for a, s := range c.v {
+		if s != other.v[a] && s != 0 {
+			return false
+		}
+	}
+	for a, s := range other.v {
+		if s != c.v[a] && s != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Concurrent reports that neither vector dominates the other.
+func (c *VClock) Concurrent(other *VClock) bool {
+	return !c.Leq(other) && !other.Leq(c)
+}
+
+// CausallyReady reports whether an event tagged with dep (the sender's
+// vector *before* the event) and dot d can be delivered on top of c:
+// every entry of dep must be contained in c, and d must be the next
+// sequence expected from its actor.
+func (c *VClock) CausallyReady(d Dot, dep *VClock) bool {
+	if c.v[d.Actor]+1 != d.Seq {
+		return false
+	}
+	for a, s := range dep.v {
+		if a == d.Actor {
+			continue
+		}
+		if s > c.v[a] {
+			return false
+		}
+	}
+	return true
+}
+
+// Len returns the number of non-zero entries.
+func (c *VClock) Len() int { return len(c.v) }
+
+// Actors returns the actors with non-zero entries in sorted order.
+func (c *VClock) Actors() []string {
+	out := make([]string, 0, len(c.v))
+	for a := range c.v {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns a deep copy.
+func (c *VClock) Clone() *VClock {
+	n := &VClock{v: make(map[string]uint64, len(c.v))}
+	for a, s := range c.v {
+		n.v[a] = s
+	}
+	return n
+}
+
+// SizeBytes returns the wire size: per entry, the actor id plus 8 bytes.
+// Absent entries still cost space in a fixed-membership deployment, so
+// callers that account for the paper's N-entry vectors should use
+// SizeBytesFixed instead.
+func (c *VClock) SizeBytes() int {
+	n := 0
+	for a := range c.v {
+		n += len(a) + 8
+	}
+	return n
+}
+
+// SizeBytesFixed returns the wire size of a vector serialized for a fixed
+// membership of numActors replicas with idBytes-long identifiers, matching
+// the paper's metadata model in Figure 9 (N entries regardless of how many
+// are zero).
+func SizeBytesFixed(numActors, idBytes int) int {
+	return numActors * (idBytes + 8)
+}
+
+// String renders the vector in sorted actor order.
+func (c *VClock) String() string {
+	actors := c.Actors()
+	parts := make([]string, 0, len(actors))
+	for _, a := range actors {
+		parts = append(parts, fmt.Sprintf("%s:%d", a, c.v[a]))
+	}
+	return "[" + strings.Join(parts, ",") + "]"
+}

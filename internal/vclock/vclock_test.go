@@ -1,0 +1,157 @@
+package vclock_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"crdtsync/internal/vclock"
+)
+
+func TestNextAndContains(t *testing.T) {
+	c := vclock.New()
+	d1 := c.Next("A")
+	d2 := c.Next("A")
+	if d1.Seq != 1 || d2.Seq != 2 {
+		t.Fatalf("Next sequences: %d, %d", d1.Seq, d2.Seq)
+	}
+	if !c.Contains(d1) || !c.Contains(d2) {
+		t.Error("vector should contain generated dots")
+	}
+	if c.Contains(vclock.Dot{Actor: "A", Seq: 3}) {
+		t.Error("vector should not contain future dots")
+	}
+	if c.Contains(vclock.Dot{Actor: "B", Seq: 1}) {
+		t.Error("vector should not contain other actors' dots")
+	}
+}
+
+func TestSetOnlyRaises(t *testing.T) {
+	c := vclock.New()
+	c.Set("A", 5)
+	c.Set("A", 3)
+	if got := c.Get("A"); got != 5 {
+		t.Errorf("Get(A) = %d, want 5 (Set must not lower)", got)
+	}
+}
+
+func TestMergeLeqEqual(t *testing.T) {
+	a := vclock.New()
+	a.Set("A", 3)
+	a.Set("B", 1)
+	b := vclock.New()
+	b.Set("A", 1)
+	b.Set("C", 4)
+
+	if a.Leq(b) || b.Leq(a) {
+		t.Error("a and b should be incomparable")
+	}
+	if !a.Concurrent(b) {
+		t.Error("a and b should be concurrent")
+	}
+	m := a.Clone()
+	m.Merge(b)
+	if m.Get("A") != 3 || m.Get("B") != 1 || m.Get("C") != 4 {
+		t.Errorf("merge = %v", m)
+	}
+	if !a.Leq(m) || !b.Leq(m) {
+		t.Error("merge should dominate both")
+	}
+	if !m.Equal(m.Clone()) {
+		t.Error("clone should be equal")
+	}
+}
+
+func TestEqualIgnoresZeroEntries(t *testing.T) {
+	a := vclock.New()
+	a.Set("A", 0) // no-op: Set only raises above 0
+	b := vclock.New()
+	if !a.Equal(b) {
+		t.Error("empty vectors should be equal")
+	}
+}
+
+func TestCausallyReady(t *testing.T) {
+	// Receiver has delivered A:1 and B:2.
+	c := vclock.New()
+	c.Set("A", 1)
+	c.Set("B", 2)
+
+	// Op A:2 with dep {A:1} is ready.
+	dep := vclock.New()
+	dep.Set("A", 1)
+	if !c.CausallyReady(vclock.Dot{Actor: "A", Seq: 2}, dep) {
+		t.Error("A:2 should be deliverable")
+	}
+	// Op A:3 skips A:2: not ready.
+	if c.CausallyReady(vclock.Dot{Actor: "A", Seq: 3}, dep) {
+		t.Error("A:3 should wait for A:2")
+	}
+	// Op C:1 depending on B:3 (undelivered): not ready.
+	dep2 := vclock.New()
+	dep2.Set("B", 3)
+	if c.CausallyReady(vclock.Dot{Actor: "C", Seq: 1}, dep2) {
+		t.Error("C:1 should wait for B:3")
+	}
+	// Op C:1 depending on B:2 (delivered): ready.
+	dep3 := vclock.New()
+	dep3.Set("B", 2)
+	if !c.CausallyReady(vclock.Dot{Actor: "C", Seq: 1}, dep3) {
+		t.Error("C:1 should be deliverable")
+	}
+}
+
+func TestActorsSorted(t *testing.T) {
+	c := vclock.New()
+	c.Set("B", 1)
+	c.Set("A", 1)
+	got := c.Actors()
+	if len(got) != 2 || got[0] != "A" || got[1] != "B" {
+		t.Errorf("Actors = %v", got)
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d", c.Len())
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	c := vclock.New()
+	c.Set("AB", 1) // 2-byte id + 8-byte counter
+	if got := c.SizeBytes(); got != 10 {
+		t.Errorf("SizeBytes = %d, want 10", got)
+	}
+	if got := vclock.SizeBytesFixed(15, 20); got != 15*28 {
+		t.Errorf("SizeBytesFixed = %d, want %d", got, 15*28)
+	}
+}
+
+func TestDotString(t *testing.T) {
+	d := vclock.Dot{Actor: "n01", Seq: 7}
+	if d.String() != "n01:7" {
+		t.Errorf("String = %q", d.String())
+	}
+}
+
+func TestQuickMergeIsJoin(t *testing.T) {
+	build := func(vals []uint8) *vclock.VClock {
+		c := vclock.New()
+		actors := []string{"A", "B", "C", "D"}
+		for i, v := range vals {
+			c.Set(actors[i%len(actors)], uint64(v))
+		}
+		return c
+	}
+	f := func(as, bs []uint8) bool {
+		a, b := build(as), build(bs)
+		ab := a.Clone()
+		ab.Merge(b)
+		ba := b.Clone()
+		ba.Merge(a)
+		// Merge is commutative, idempotent, and an upper bound.
+		self := a.Clone()
+		self.Merge(a)
+		return ab.Equal(ba) && a.Leq(ab) && b.Leq(ab) && self.Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,256 @@
+// Package workload defines the update workloads of the paper's evaluation
+// (Table I): GSet unique-element additions, GCounter increments, and GMap
+// K% key updates, plus the op/datatype abstraction that lets every
+// synchronization protocol (state-, delta-, digest- and op-based) run the
+// same workload, and a Zipf sampler for the Retwis experiment's contention
+// knob.
+package workload
+
+import (
+	"fmt"
+
+	"crdtsync/internal/crdt"
+	"crdtsync/internal/lattice"
+)
+
+// Kind enumerates the update operations of the micro-benchmarks.
+type Kind int
+
+// Operation kinds.
+const (
+	// KindAdd adds Elem to a grow-only set.
+	KindAdd Kind = iota
+	// KindInc increments a counter by N.
+	KindInc
+	// KindPut bumps the version of map key Key (GMap micro-benchmark) or
+	// writes Value at Key (Retwis-style maps of registers).
+	KindPut
+	// KindRemove removes Elem from a removable set (AWSet extension).
+	KindRemove
+)
+
+// Op is one update operation produced by a workload generator.
+type Op struct {
+	Kind  Kind
+	Elem  string // KindAdd: element to insert
+	Key   string // KindPut: map key
+	Value string // KindPut: payload (may be empty for version bumps)
+	N     uint64 // KindInc: increment amount
+}
+
+// Datatype adapts one CRDT to the protocol engines: it creates states,
+// turns ops into optimal deltas, and sizes ops for op-based accounting.
+type Datatype interface {
+	// Name identifies the datatype in reports ("gset", "gcounter", ...).
+	Name() string
+	// New returns a fresh bottom state.
+	New() lattice.State
+	// Delta is the pure δ-mutator: it returns the optimal delta of
+	// applying op at the given replica on state s, without mutating s.
+	Delta(s lattice.State, replica string, op Op) lattice.State
+	// OpBytes returns the wire size of op when shipped as an operation
+	// by op-based synchronization.
+	OpBytes(op Op) int
+}
+
+// GSetType adapts crdt.GSet.
+type GSetType struct{}
+
+// Name implements Datatype.
+func (GSetType) Name() string { return "gset" }
+
+// New implements Datatype.
+func (GSetType) New() lattice.State { return crdt.NewGSet() }
+
+// Delta implements Datatype for KindAdd ops.
+func (GSetType) Delta(s lattice.State, _ string, op Op) lattice.State {
+	if op.Kind != KindAdd {
+		panic("workload: GSetType supports only KindAdd")
+	}
+	return s.(*crdt.GSet).AddDelta(op.Elem)
+}
+
+// OpBytes implements Datatype.
+func (GSetType) OpBytes(op Op) int { return len(op.Elem) }
+
+// GCounterType adapts crdt.GCounter.
+type GCounterType struct{}
+
+// Name implements Datatype.
+func (GCounterType) Name() string { return "gcounter" }
+
+// New implements Datatype.
+func (GCounterType) New() lattice.State { return crdt.NewGCounter() }
+
+// Delta implements Datatype for KindInc ops.
+func (GCounterType) Delta(s lattice.State, replica string, op Op) lattice.State {
+	if op.Kind != KindInc {
+		panic("workload: GCounterType supports only KindInc")
+	}
+	return s.(*crdt.GCounter).IncDelta(replica, op.N)
+}
+
+// OpBytes implements Datatype.
+func (GCounterType) OpBytes(Op) int { return 8 }
+
+// GMapType adapts a grow-only map whose values are version chains
+// (lattice.MaxInt): every KindPut bumps the version of one key. This is the
+// GMap K% micro-benchmark state; the GCounter benchmark is its K = 100%
+// special case, as the paper notes.
+type GMapType struct{}
+
+// Name implements Datatype.
+func (GMapType) Name() string { return "gmap" }
+
+// New implements Datatype.
+func (GMapType) New() lattice.State { return crdt.NewGMap() }
+
+// Delta implements Datatype for KindPut ops: {key ↦ version + 1}.
+func (GMapType) Delta(s lattice.State, _ string, op Op) lattice.State {
+	if op.Kind != KindPut {
+		panic("workload: GMapType supports only KindPut")
+	}
+	m := s.(*crdt.GMap)
+	var next uint64 = 1
+	if cur := m.Get(op.Key); cur != nil {
+		next = cur.(*lattice.MaxInt).V + 1
+	}
+	return lattice.NewMapEntry(op.Key, lattice.NewMaxInt(next))
+}
+
+// OpBytes implements Datatype.
+func (GMapType) OpBytes(op Op) int { return len(op.Key) + 8 }
+
+// LWWMapType adapts a grow-only map whose values are LWW registers,
+// the shape of the Retwis wall and timeline objects.
+type LWWMapType struct{}
+
+// Name implements Datatype.
+func (LWWMapType) Name() string { return "lwwmap" }
+
+// New implements Datatype.
+func (LWWMapType) New() lattice.State { return crdt.NewGMap() }
+
+// Delta implements Datatype for KindPut ops: write Value at Key with a
+// version derived from the current register (current TS + 1).
+func (LWWMapType) Delta(s lattice.State, replica string, op Op) lattice.State {
+	if op.Kind != KindPut {
+		panic("workload: LWWMapType supports only KindPut")
+	}
+	m := s.(*crdt.GMap)
+	var ts uint64 = 1
+	if cur := m.Get(op.Key); cur != nil {
+		ts = cur.(*crdt.LWWRegister).TS + 1
+	}
+	reg := &crdt.LWWRegister{TS: ts, Writer: replica, Val: op.Value}
+	return lattice.NewMapEntry(op.Key, reg)
+}
+
+// OpBytes implements Datatype.
+func (LWWMapType) OpBytes(op Op) int { return len(op.Key) + len(op.Value) + 8 }
+
+// AWSetType adapts crdt.AWSet, the add-wins observed-remove set extension
+// of Appendix B. It accepts KindAdd and KindRemove ops.
+type AWSetType struct{}
+
+// Name implements Datatype.
+func (AWSetType) Name() string { return "awset" }
+
+// New implements Datatype.
+func (AWSetType) New() lattice.State { return crdt.NewAWSet() }
+
+// Delta implements Datatype for KindAdd and KindRemove ops.
+func (AWSetType) Delta(s lattice.State, replica string, op Op) lattice.State {
+	set := s.(*crdt.AWSet)
+	switch op.Kind {
+	case KindAdd:
+		return set.AddDelta(replica, op.Elem)
+	case KindRemove:
+		return set.RemoveDelta(op.Elem)
+	default:
+		panic("workload: AWSetType supports only KindAdd and KindRemove")
+	}
+}
+
+// OpBytes implements Datatype.
+func (AWSetType) OpBytes(op Op) int { return len(op.Elem) + 12 }
+
+// Generator produces the per-round updates of one node.
+type Generator interface {
+	// Ops returns the operations node (with the given index among n
+	// nodes) executes in the given round.
+	Ops(round int, node string, nodeIndex, numNodes int) []Op
+}
+
+// AWSetGen adds one unique element per node per round and, every
+// RemoveEvery rounds, removes the element the node added RemoveEvery
+// rounds earlier — a grow-mostly workload that exercises removal.
+type AWSetGen struct {
+	// RemoveEvery is the removal period in rounds (0 disables removals).
+	RemoveEvery int
+}
+
+// Ops implements Generator.
+func (g AWSetGen) Ops(round int, node string, _, _ int) []Op {
+	elem := func(r int) string { return fmt.Sprintf("%s-e%05d", node, r) }
+	ops := []Op{{Kind: KindAdd, Elem: elem(round)}}
+	if g.RemoveEvery > 0 && round >= g.RemoveEvery && round%g.RemoveEvery == 0 {
+		ops = append(ops, Op{Kind: KindRemove, Elem: elem(round - g.RemoveEvery)})
+	}
+	return ops
+}
+
+// GSetGen adds one globally unique element per node per round
+// (Table I: "addition of unique element").
+type GSetGen struct{}
+
+// Ops implements Generator.
+func (GSetGen) Ops(round int, node string, _, _ int) []Op {
+	return []Op{{Kind: KindAdd, Elem: fmt.Sprintf("%s-e%05d", node, round)}}
+}
+
+// GCounterGen increments by one per node per round
+// (Table I: "single increment").
+type GCounterGen struct{}
+
+// Ops implements Generator.
+func (GCounterGen) Ops(int, string, int, int) []Op {
+	return []Op{{Kind: KindInc, N: 1}}
+}
+
+// GMapGen updates K/N% of TotalKeys per node per round, partitioned so that
+// globally K% of all keys change within each synchronization interval
+// (Table I: "change the value of K/N% keys").
+type GMapGen struct {
+	// K is the global percentage of keys modified per interval (10, 30,
+	// 60, 100 in the paper).
+	K int
+	// TotalKeys is the map size (1000 in the paper).
+	TotalKeys int
+}
+
+// Ops implements Generator: node i updates a rotating window of its own
+// TotalKeys/numNodes partition.
+func (g GMapGen) Ops(round int, _ string, nodeIndex, numNodes int) []Op {
+	if g.TotalKeys == 0 || numNodes == 0 {
+		return nil
+	}
+	chunk := g.TotalKeys / numNodes
+	if chunk == 0 {
+		chunk = 1
+	}
+	perRound := g.TotalKeys * g.K / 100 / numNodes
+	if perRound < 1 {
+		perRound = 1
+	}
+	if perRound > chunk {
+		perRound = chunk
+	}
+	base := nodeIndex * chunk
+	ops := make([]Op, 0, perRound)
+	for j := 0; j < perRound; j++ {
+		k := base + (round*perRound+j)%chunk
+		ops = append(ops, Op{Kind: KindPut, Key: fmt.Sprintf("k%04d", k)})
+	}
+	return ops
+}

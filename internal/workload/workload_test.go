@@ -1,0 +1,227 @@
+package workload_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"crdtsync/internal/crdt"
+	"crdtsync/internal/lattice"
+	"crdtsync/internal/workload"
+)
+
+func TestGSetGenUnique(t *testing.T) {
+	gen := workload.GSetGen{}
+	seen := make(map[string]bool)
+	for round := 0; round < 10; round++ {
+		for node := 0; node < 5; node++ {
+			ops := gen.Ops(round, "n0"+string(rune('0'+node)), node, 5)
+			if len(ops) != 1 || ops[0].Kind != workload.KindAdd {
+				t.Fatalf("ops = %+v", ops)
+			}
+			if seen[ops[0].Elem] {
+				t.Fatalf("duplicate element %q", ops[0].Elem)
+			}
+			seen[ops[0].Elem] = true
+		}
+	}
+}
+
+func TestGCounterGen(t *testing.T) {
+	ops := workload.GCounterGen{}.Ops(3, "n00", 0, 15)
+	if len(ops) != 1 || ops[0].Kind != workload.KindInc || ops[0].N != 1 {
+		t.Fatalf("ops = %+v", ops)
+	}
+}
+
+func TestGMapGenGlobalCoverage(t *testing.T) {
+	// With K=30 and 1000 keys over 10 nodes, globally 300 keys (30%)
+	// must be touched per round, disjointly across nodes.
+	gen := workload.GMapGen{K: 30, TotalKeys: 1000}
+	seen := make(map[string]int)
+	total := 0
+	for node := 0; node < 10; node++ {
+		ops := gen.Ops(0, "n", node, 10)
+		total += len(ops)
+		for _, op := range ops {
+			if op.Kind != workload.KindPut {
+				t.Fatalf("op kind = %v", op.Kind)
+			}
+			seen[op.Key]++
+		}
+	}
+	if total != 300 {
+		t.Errorf("global keys touched = %d, want 300", total)
+	}
+	for k, n := range seen {
+		if n != 1 {
+			t.Errorf("key %s touched %d times in one round, want 1 (disjoint partitions)", k, n)
+		}
+	}
+}
+
+func TestGMapGenRotation(t *testing.T) {
+	// Distinct rounds eventually cover a node's whole partition when
+	// K < 100.
+	gen := workload.GMapGen{K: 10, TotalKeys: 100}
+	keys := make(map[string]bool)
+	for round := 0; round < 20; round++ {
+		for _, op := range gen.Ops(round, "n", 0, 10) {
+			keys[op.Key] = true
+		}
+	}
+	if len(keys) != 10 { // node 0's partition is 10 keys
+		t.Errorf("rotation covered %d keys, want 10", len(keys))
+	}
+}
+
+func TestDatatypeDeltas(t *testing.T) {
+	// GSet driver.
+	gs := workload.GSetType{}
+	s := gs.New()
+	d := gs.Delta(s, "n00", workload.Op{Kind: workload.KindAdd, Elem: "x"})
+	if d.Elements() != 1 {
+		t.Errorf("gset delta = %v", d)
+	}
+	s.Merge(d)
+	if d2 := gs.Delta(s, "n00", workload.Op{Kind: workload.KindAdd, Elem: "x"}); !d2.IsBottom() {
+		t.Error("re-adding should yield bottom delta")
+	}
+
+	// GCounter driver.
+	gc := workload.GCounterType{}
+	c := gc.New()
+	d = gc.Delta(c, "n00", workload.Op{Kind: workload.KindInc, N: 2})
+	if d.(*crdt.GCounter).Entry("n00") != 2 {
+		t.Errorf("gcounter delta = %v", d)
+	}
+
+	// GMap driver bumps versions.
+	gm := workload.GMapType{}
+	m := gm.New()
+	d = gm.Delta(m, "n00", workload.Op{Kind: workload.KindPut, Key: "k1"})
+	m.Merge(d)
+	d = gm.Delta(m, "n00", workload.Op{Kind: workload.KindPut, Key: "k1"})
+	if got := d.(*crdt.GMap).Get("k1").(*lattice.MaxInt).V; got != 2 {
+		t.Errorf("second put version = %d, want 2", got)
+	}
+
+	// LWWMap driver writes values.
+	lm := workload.LWWMapType{}
+	w := lm.New()
+	d = lm.Delta(w, "n00", workload.Op{Kind: workload.KindPut, Key: "k", Value: "v"})
+	w.Merge(d)
+	if got := w.(*crdt.GMap).Get("k").(*crdt.LWWRegister).Value(); got != "v" {
+		t.Errorf("lww value = %q", got)
+	}
+}
+
+func TestDatatypeKindPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"gset-inc", func() {
+			workload.GSetType{}.Delta(workload.GSetType{}.New(), "n", workload.Op{Kind: workload.KindInc})
+		}},
+		{"gcounter-add", func() {
+			workload.GCounterType{}.Delta(workload.GCounterType{}.New(), "n", workload.Op{Kind: workload.KindAdd})
+		}},
+		{"gmap-add", func() {
+			workload.GMapType{}.Delta(workload.GMapType{}.New(), "n", workload.Op{Kind: workload.KindAdd})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("want panic on wrong op kind")
+				}
+			}()
+			tc.fn()
+		})
+	}
+}
+
+func TestOpBytes(t *testing.T) {
+	if got := (workload.GSetType{}).OpBytes(workload.Op{Elem: "abcd"}); got != 4 {
+		t.Errorf("gset OpBytes = %d", got)
+	}
+	if got := (workload.GCounterType{}).OpBytes(workload.Op{}); got != 8 {
+		t.Errorf("gcounter OpBytes = %d", got)
+	}
+	if got := (workload.GMapType{}).OpBytes(workload.Op{Key: "abc"}); got != 11 {
+		t.Errorf("gmap OpBytes = %d", got)
+	}
+}
+
+func TestZipfUniformWhenThetaZero(t *testing.T) {
+	z := workload.NewZipf(10, 0, 1)
+	counts := make([]int, 10)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	for i, c := range counts {
+		p := float64(c) / n
+		if math.Abs(p-0.1) > 0.01 {
+			t.Errorf("theta=0 index %d probability %.3f, want ≈0.1", i, p)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z := workload.NewZipf(1000, 1.5, 1)
+	const n = 100000
+	head := 0
+	for i := 0; i < n; i++ {
+		if z.Next() < 10 {
+			head++
+		}
+	}
+	// With theta=1.5 the top-10 of 1000 items carry ≈78% of the mass
+	// (Σ1/i^1.5 for i ≤ 10 over i ≤ 1000).
+	if frac := float64(head) / n; frac < 0.74 || frac > 0.82 {
+		t.Errorf("top-10 mass = %.3f, want ≈0.78 at theta=1.5", frac)
+	}
+	// Probabilities are decreasing.
+	if z.Prob(0) <= z.Prob(1) || z.Prob(1) <= z.Prob(10) {
+		t.Error("zipf probabilities should decrease with rank")
+	}
+}
+
+func TestZipfDeterministic(t *testing.T) {
+	a := workload.NewZipf(100, 1.0, 9)
+	b := workload.NewZipf(100, 1.0, 9)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed should give same sequence")
+		}
+	}
+	if a.N() != 100 {
+		t.Errorf("N = %d", a.N())
+	}
+}
+
+func TestZipfValidation(t *testing.T) {
+	for _, tc := range []struct {
+		n     int
+		theta float64
+	}{{0, 1}, {10, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewZipf(%d,%f) should panic", tc.n, tc.theta)
+				}
+			}()
+			workload.NewZipf(tc.n, tc.theta, 1)
+		}()
+	}
+}
+
+func TestGSetGenElementNaming(t *testing.T) {
+	ops := workload.GSetGen{}.Ops(7, "n03", 3, 15)
+	if !strings.HasPrefix(ops[0].Elem, "n03-e") {
+		t.Errorf("element %q should embed the node id", ops[0].Elem)
+	}
+}

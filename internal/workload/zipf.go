@@ -1,0 +1,54 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Zipf samples indexes in [0, n) with probability proportional to
+// 1/(i+1)^theta. Unlike math/rand's Zipf it supports any theta ≥ 0
+// (the paper sweeps coefficients 0.5–1.5, crossing the s > 1 restriction
+// of the standard library), using an inverse-CDF table.
+type Zipf struct {
+	cdf []float64
+	rng *rand.Rand
+}
+
+// NewZipf returns a sampler over n items with exponent theta, seeded
+// deterministically.
+func NewZipf(n int, theta float64, seed int64) *Zipf {
+	if n <= 0 {
+		panic("workload: NewZipf requires n > 0")
+	}
+	if theta < 0 {
+		panic("workload: NewZipf requires theta >= 0")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1.0 / math.Pow(float64(i+1), theta)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf, rng: rand.New(rand.NewSource(seed))}
+}
+
+// N returns the number of items.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Next samples one index.
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// Prob returns the probability mass of index i.
+func (z *Zipf) Prob(i int) float64 {
+	if i == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[i] - z.cdf[i-1]
+}

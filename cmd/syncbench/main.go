@@ -5,6 +5,7 @@
 //
 //	syncbench -exp all                 # every experiment at paper scale
 //	syncbench -exp fig7 -scale test    # one experiment, reduced scale
+//	syncbench -exp store -keys 100000  # sharded multi-object TCP benchmark
 //	syncbench -list                    # list experiment ids
 package main
 
@@ -18,10 +19,15 @@ import (
 )
 
 func main() {
-	expID := flag.String("exp", "all", "experiment id (fig1, fig7, fig8, fig9, fig10, fig11, fig12, tab1, tab2, all)")
+	expID := flag.String("exp", "all", "experiment id (fig1, fig7, fig8, fig9, fig10, fig11, fig12, tab1, tab2, store, all)")
 	scale := flag.String("scale", "paper", "configuration scale: paper or test")
 	seed := flag.Int64("seed", 42, "random seed")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	keys := flag.Int("keys", 100000, "store experiment: number of distinct keys")
+	nodeCount := flag.Int("nodes", 3, "store experiment: TCP cluster size (full mesh)")
+	shards := flag.Int("shards", 64, "store experiment: shards per node (rounded to a power of two)")
+	syncEvery := flag.Duration("sync-every", 100*time.Millisecond, "store experiment: synchronization period")
+	engine := flag.String("engine", "acked", "store experiment: inner protocol (acked or delta)")
 	flag.Parse()
 
 	if *list {
@@ -34,7 +40,19 @@ func main() {
 		fmt.Println("fig12  Retwis CPU overhead of classic vs BP+RR")
 		fmt.Println("tab1   micro-benchmark catalog")
 		fmt.Println("tab2   Retwis workload characterization")
-		fmt.Println("all    everything above")
+		fmt.Println("store  sharded multi-object store over a real TCP cluster")
+		fmt.Println("all    everything above except store")
+		return
+	}
+
+	if *expID == "store" {
+		runStoreBench(storeBenchConfig{
+			Keys:      *keys,
+			Nodes:     *nodeCount,
+			Shards:    *shards,
+			SyncEvery: *syncEvery,
+			Engine:    *engine,
+		})
 		return
 	}
 

@@ -1,0 +1,3 @@
+module crdtsync
+
+go 1.21

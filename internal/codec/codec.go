@@ -54,6 +54,14 @@ func Decode(data []byte) (lattice.State, int, error) {
 	return readState(data)
 }
 
+// maxStateNesting bounds state nesting during decoding (maps of maps);
+// a hostile chain of map prefixes must fail with an error instead of
+// exhausting the goroutine stack.
+const maxStateNesting = 16
+
+// ErrNestingTooDeep reports input nested beyond the decoder's limit.
+var ErrNestingTooDeep = errors.New("codec: nesting too deep")
+
 func appendString(b []byte, s string) []byte {
 	b = binary.AppendUvarint(b, uint64(len(s)))
 	return append(b, s...)
@@ -75,6 +83,27 @@ func readUvarint(data []byte) (uint64, int, error) {
 	return v, n, nil
 }
 
+// maxCapHint caps the slice capacity preallocated from a wire-declared
+// element count (append grows larger results amortized); combined with the
+// remaining-bytes bound below it keeps one hostile frame from forcing a
+// multi-gigabyte allocation.
+const maxCapHint = 1 << 16
+
+// capHint bounds a wire-declared element count by the bytes actually
+// remaining (each element occupies at least one byte on the wire, so a
+// count beyond that is certainly corrupt and decoding will fail with
+// ErrTruncated) and by maxCapHint, so a hostile count can never drive a
+// huge allocation or a makeslice panic.
+func capHint(count uint64, remaining []byte) int {
+	if count > uint64(len(remaining)) {
+		count = uint64(len(remaining))
+	}
+	if count > maxCapHint {
+		count = maxCapHint
+	}
+	return int(count)
+}
+
 func readString(data []byte) (string, int, error) {
 	l, n, err := readUvarint(data)
 	if err != nil {
@@ -91,7 +120,7 @@ func readStringList(data []byte) ([]string, int, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	out := make([]string, 0, count)
+	out := make([]string, 0, capHint(count, data[n:]))
 	for i := uint64(0); i < count; i++ {
 		s, m, err := readString(data[n:])
 		if err != nil {
@@ -226,18 +255,25 @@ func appendState(b []byte, s lattice.State) []byte {
 }
 
 func readState(data []byte) (lattice.State, int, error) {
+	return readStateDepth(data, 0)
+}
+
+func readStateDepth(data []byte, depth int) (lattice.State, int, error) {
+	if depth >= maxStateNesting {
+		return nil, 0, ErrNestingTooDeep
+	}
 	if len(data) == 0 {
 		return nil, 0, ErrTruncated
 	}
 	tag, body := data[0], data[1:]
-	s, n, err := readBody(tag, body)
+	s, n, err := readBody(tag, body, depth)
 	if err != nil {
 		return nil, 0, err
 	}
 	return s, n + 1, nil
 }
 
-func readBody(tag byte, data []byte) (lattice.State, int, error) {
+func readBody(tag byte, data []byte, depth int) (lattice.State, int, error) {
 	switch tag {
 	case tagMaxInt:
 		v, n, err := readUvarint(data)
@@ -271,7 +307,7 @@ func readBody(tag byte, data []byte) (lattice.State, int, error) {
 				return nil, 0, err
 			}
 			n += kn
-			v, vn, err := readState(data[n:])
+			v, vn, err := readStateDepth(data[n:], depth+1)
 			if err != nil {
 				return nil, 0, err
 			}

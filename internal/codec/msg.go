@@ -3,6 +3,7 @@ package codec
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 	"sort"
 
 	"crdtsync/internal/metrics"
@@ -20,7 +21,14 @@ const (
 	tagSBDeltasMsg
 	tagOpsMsg
 	tagBatchMsg
+	tagShardedMsg
 )
+
+// maxMsgNesting bounds message nesting during decoding. Legitimate
+// traffic nests at most ShardedMsg → BatchMsg → leaf (depth 3); a hostile
+// frame of repeated container prefixes must fail with an error instead of
+// exhausting the goroutine stack.
+const maxMsgNesting = 8
 
 // EncodeMsg serializes a protocol message, including its transmission
 // accounting, so a receiving transport can reconstruct it exactly.
@@ -32,10 +40,17 @@ func EncodeMsg(m protocol.Msg) ([]byte, error) {
 // DecodeMsg deserializes one protocol message, returning the bytes
 // consumed.
 func DecodeMsg(data []byte) (protocol.Msg, int, error) {
+	return decodeMsg(data, 0)
+}
+
+func decodeMsg(data []byte, depth int) (protocol.Msg, int, error) {
+	if depth >= maxMsgNesting {
+		return nil, 0, ErrNestingTooDeep
+	}
 	if len(data) == 0 {
 		return nil, 0, ErrTruncated
 	}
-	m, n, err := readMsgBody(data[0], data[1:])
+	m, n, err := readMsgBody(data[0], data[1:], depth)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -125,7 +140,7 @@ func readSeqs(data []byte) ([]uint64, int, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	seqs := make([]uint64, 0, count)
+	seqs := make([]uint64, 0, capHint(count, data[n:]))
 	for i := uint64(0); i < count; i++ {
 		s, m, err := readUvarint(data[n:])
 		if err != nil {
@@ -217,12 +232,26 @@ func appendMsg(b []byte, m protocol.Msg) ([]byte, error) {
 		}
 		return b, nil
 
+	case *protocol.ShardedMsg:
+		b = append(b, tagShardedMsg)
+		b = appendCost(b, v.Cost())
+		b = binary.AppendUvarint(b, uint64(len(v.Items)))
+		for _, it := range v.Items {
+			b = binary.AppendUvarint(b, uint64(it.Shard))
+			var err error
+			b, err = appendMsg(b, it.Msg)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return b, nil
+
 	default:
 		return nil, fmt.Errorf("codec: no wire format for message %T", m)
 	}
 }
 
-func readMsgBody(tag byte, data []byte) (protocol.Msg, int, error) {
+func readMsgBody(tag byte, data []byte, depth int) (protocol.Msg, int, error) {
 	cost, n, err := readCost(data)
 	if err != nil {
 		return nil, 0, err
@@ -279,7 +308,7 @@ func readMsgBody(tag byte, data []byte) (protocol.Msg, int, error) {
 				return nil, 0, err
 			}
 			n += m2
-			matrix = make(map[string]*vclock.VClock, count)
+			matrix = make(map[string]*vclock.VClock, capHint(count, data[n:]))
 			for i := uint64(0); i < count; i++ {
 				k, m3, err := readString(data[n:])
 				if err != nil {
@@ -302,7 +331,7 @@ func readMsgBody(tag byte, data []byte) (protocol.Msg, int, error) {
 			return nil, 0, err
 		}
 		n += m
-		items := make([]protocol.SBItem, 0, count)
+		items := make([]protocol.SBItem, 0, capHint(count, data[n:]))
 		for i := uint64(0); i < count; i++ {
 			d, m2, err := readDot(data[n:])
 			if err != nil {
@@ -324,7 +353,7 @@ func readMsgBody(tag byte, data []byte) (protocol.Msg, int, error) {
 			return nil, 0, err
 		}
 		n += m
-		ops := make([]protocol.TaggedOp, 0, count)
+		ops := make([]protocol.TaggedOp, 0, capHint(count, data[n:]))
 		for i := uint64(0); i < count; i++ {
 			d, m2, err := readDot(data[n:])
 			if err != nil {
@@ -356,14 +385,14 @@ func readMsgBody(tag byte, data []byte) (protocol.Msg, int, error) {
 			return nil, 0, err
 		}
 		n += m
-		items := make([]protocol.ObjectMsg, 0, count)
+		items := make([]protocol.ObjectMsg, 0, capHint(count, data[n:]))
 		for i := uint64(0); i < count; i++ {
 			k, m2, err := readString(data[n:])
 			if err != nil {
 				return nil, 0, err
 			}
 			n += m2
-			inner, m3, err := DecodeMsg(data[n:])
+			inner, m3, err := decodeMsg(data[n:], depth+1)
 			if err != nil {
 				return nil, 0, err
 			}
@@ -371,6 +400,33 @@ func readMsgBody(tag byte, data []byte) (protocol.Msg, int, error) {
 			items = append(items, protocol.ObjectMsg{Key: k, Inner: inner})
 		}
 		return protocol.NewBatchMsg(items, cost), n, nil
+
+	case tagShardedMsg:
+		count, m, err := readUvarint(data[n:])
+		if err != nil {
+			return nil, 0, err
+		}
+		n += m
+		items := make([]protocol.ShardItem, 0, capHint(count, data[n:]))
+		for i := uint64(0); i < count; i++ {
+			shard, m2, err := readUvarint(data[n:])
+			if err != nil {
+				return nil, 0, err
+			}
+			if shard > math.MaxUint32 {
+				// Truncating would alias a corrupt index into the valid
+				// shard range, bypassing the receiver's bounds check.
+				return nil, 0, fmt.Errorf("codec: shard index %d out of range", shard)
+			}
+			n += m2
+			inner, m3, err := decodeMsg(data[n:], depth+1)
+			if err != nil {
+				return nil, 0, err
+			}
+			n += m3
+			items = append(items, protocol.ShardItem{Shard: uint32(shard), Msg: inner})
+		}
+		return protocol.NewShardedMsgWithCost(items, cost), n, nil
 
 	default:
 		return nil, 0, fmt.Errorf("%w: %d", ErrUnknownTag, tag)

@@ -1,6 +1,7 @@
 package codec_test
 
 import (
+	"encoding/binary"
 	"testing"
 
 	"crdtsync/internal/codec"
@@ -136,6 +137,81 @@ func TestBatchMsgRoundTrip(t *testing.T) {
 	}
 }
 
+func TestShardedMsgRoundTrip(t *testing.T) {
+	batch := protocol.NewBatchMsg([]protocol.ObjectMsg{
+		{Key: "user:1", Inner: protocol.NewDeltaMsg(crdt.NewGSet("a"), cost())},
+		{Key: "user:2", Inner: protocol.NewDeltaMsg(crdt.NewGSet("b"), cost())},
+	}, cost())
+	items := []protocol.ShardItem{
+		{Shard: 0, Msg: batch},
+		{Shard: 13, Msg: protocol.NewDeltaMsg(crdt.NewGSet("c"), cost())},
+	}
+	m := protocol.NewShardedMsg(items)
+	got := msgRoundTrip(t, m).(*protocol.ShardedMsg)
+	if len(got.Items) != 2 || got.Items[1].Shard != 13 {
+		t.Fatalf("items = %+v", got.Items)
+	}
+	inner, ok := got.Items[0].Msg.(*protocol.BatchMsg)
+	if !ok || len(inner.Items) != 2 || inner.Items[1].Key != "user:2" {
+		t.Errorf("nested batch mismatch: %+v", got.Items[0].Msg)
+	}
+	if got.Items[1].Msg.Kind() != "delta" {
+		t.Errorf("second item kind = %q, want delta", got.Items[1].Msg.Kind())
+	}
+}
+
+func TestShardedMsgCostAggregation(t *testing.T) {
+	inner := protocol.NewDeltaMsg(crdt.NewGSet("x", "y"), metrics.Transmission{
+		Messages: 1, Elements: 2, PayloadBytes: 10, MetadataBytes: 8,
+	})
+	m := protocol.NewShardedMsg([]protocol.ShardItem{{Shard: 3, Msg: inner}})
+	c := m.Cost()
+	if c.Messages != 1 {
+		t.Errorf("messages = %d, want 1 (one frame on the wire)", c.Messages)
+	}
+	if c.Elements != 2 || c.PayloadBytes != 10 {
+		t.Errorf("payload accounting = %+v, want inner sums", c)
+	}
+	if c.MetadataBytes != 8+4 {
+		t.Errorf("metadata = %d, want inner 8 + 4 routing bytes", c.MetadataBytes)
+	}
+}
+
+func TestDecodeShardIndexOutOfRange(t *testing.T) {
+	// A shard index beyond uint32 must be rejected, not truncated into
+	// the valid range where it would bypass the receiver's bounds check.
+	msg := []byte{72, 0, 0, 0, 0, 1}               // sharded, zero cost, 1 item
+	msg = binary.AppendUvarint(msg, uint64(1)<<33) // hostile shard index
+	inner, _ := codec.EncodeMsg(protocol.NewAckMsg(nil, cost()))
+	msg = append(msg, inner...)
+	if _, _, err := codec.DecodeMsg(msg); err == nil {
+		t.Error("out-of-range shard index should fail decoding")
+	}
+}
+
+func TestDecodeHostileNestingDoesNotPanic(t *testing.T) {
+	// A chain of container prefixes far past legitimate nesting must fail
+	// with an error, not exhaust the stack.
+	var msg []byte
+	for i := 0; i < 1000; i++ {
+		msg = append(msg, 72)         // tagShardedMsg
+		msg = append(msg, 0, 0, 0, 0) // zero cost
+		msg = append(msg, 1)          // one item
+		msg = append(msg, 0)          // shard 0
+	}
+	if _, _, err := codec.DecodeMsg(msg); err == nil {
+		t.Error("deeply nested sharded message should fail")
+	}
+	var state []byte
+	for i := 0; i < 1000; i++ {
+		state = append(state, 4)    // tagMap
+		state = append(state, 1, 0) // one entry, empty key
+	}
+	if _, _, err := codec.Decode(state); err == nil {
+		t.Error("deeply nested map state should fail")
+	}
+}
+
 func TestDecodeMsgErrors(t *testing.T) {
 	if _, _, err := codec.DecodeMsg(nil); err == nil {
 		t.Error("empty input should fail")
@@ -146,5 +222,27 @@ func TestDecodeMsgErrors(t *testing.T) {
 	data, _ := codec.EncodeMsg(protocol.NewDeltaMsg(crdt.NewGSet("abc"), cost()))
 	if _, _, err := codec.DecodeMsg(data[:3]); err == nil {
 		t.Error("truncated message should fail")
+	}
+}
+
+func TestDecodeHostileCountDoesNotPanic(t *testing.T) {
+	// A frame declaring an absurd element count (here 2^60 sharded items
+	// in a few bytes) must fail with a decode error, not panic allocating
+	// the claimed capacity. Exercise every counted message shape.
+	encodeHeader := func(tag byte) []byte {
+		b := []byte{tag}
+		b = append(b, 0, 0, 0, 0) // zero cost
+		return b
+	}
+	hugeCount := binary.AppendUvarint(nil, 1<<60)
+	for _, tag := range []byte{68, 69, 70, 71, 72} { // sbdigest..sharded
+		data := encodeHeader(tag)
+		if tag == 68 { // SBDigestMsg: empty vector, matrix present
+			data = append(data, 0, 1)
+		}
+		data = append(data, hugeCount...)
+		if _, _, err := codec.DecodeMsg(data); err == nil {
+			t.Errorf("tag %d: hostile count should fail", tag)
+		}
 	}
 }

@@ -41,6 +41,9 @@ func TestFig1Shape(t *testing.T) {
 }
 
 func TestFig7Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig7 sweep is slow")
+	}
 	tab := Fig7(TestConfig())
 	gsetTree, gsetMesh := 1, 2 // columns
 	gcMesh := 4
@@ -70,6 +73,9 @@ func TestFig7Shape(t *testing.T) {
 }
 
 func TestFig8Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig8 sweep is slow")
+	}
 	tab := Fig8(TestConfig())
 	classic := rowIdx(t, tab, "delta-classic")
 	bp := rowIdx(t, tab, "delta-bp")
@@ -114,6 +120,9 @@ func TestFig9Shape(t *testing.T) {
 }
 
 func TestFig10Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig10 sweep is slow")
+	}
 	tab := Fig10(TestConfig())
 	state := rowIdx(t, tab, "state-based")
 	classic := rowIdx(t, tab, "delta-classic")

@@ -49,6 +49,9 @@ func allWorkloads() map[string]struct {
 // TestConvergenceAllProtocols checks that every protocol converges every
 // replica to the same state on every topology and datatype.
 func TestConvergenceAllProtocols(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full protocol x topology x workload sweep is slow")
+	}
 	for tname, topo := range allTopologies() {
 		for pname, factory := range allFactories() {
 			for wname, w := range allWorkloads() {
@@ -91,6 +94,9 @@ func TestConvergenceUnderFaults(t *testing.T) {
 // replicas to the *same* final state for the same deterministic workload —
 // they differ in cost, never in outcome.
 func TestCrossProtocolEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-protocol sweep is slow")
+	}
 	topo := topology.PartialMesh(15, 4, 1)
 	for wname, w := range allWorkloads() {
 		t.Run(wname, func(t *testing.T) {

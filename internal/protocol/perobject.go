@@ -41,7 +41,16 @@ type perObject struct {
 	objType func(key string) workload.Datatype
 	objects map[string]Engine
 	keys    []string // sorted, for deterministic iteration
+	// active holds keys that must be visited on the next Sync: keys
+	// touched by LocalOp/Deliver since the last one, plus keys whose
+	// engine emitted a message last round (it may need to emit again,
+	// e.g. unacked retransmissions or Scuttlebutt digests). Quiescent
+	// keys are skipped, making Sync O(changed) instead of O(keyspace):
+	// the large-keyspace win the Retwis evaluation relies on.
+	active map[string]struct{}
 }
+
+var _ KeyedEngine = (*perObject)(nil)
 
 // NewPerObject wraps an inner protocol factory so that every distinct
 // op.Key is replicated as an independent object; objType chooses the
@@ -53,11 +62,24 @@ func NewPerObject(inner Factory, objType func(key string) workload.Datatype) Fac
 			inner:   inner,
 			objType: objType,
 			objects: make(map[string]Engine),
+			active:  make(map[string]struct{}),
 		}
 	}
 }
 
 func (e *perObject) ID() string { return e.cfg.ID }
+
+// Keys implements KeyedEngine.
+func (e *perObject) Keys() []string { return e.keys }
+
+// ObjectState implements KeyedEngine.
+func (e *perObject) ObjectState(key string) lattice.State {
+	eng, ok := e.objects[key]
+	if !ok {
+		return nil
+	}
+	return eng.State()
+}
 
 // State aggregates all object states into a map keyed by object key.
 // Object states are shared, not cloned; callers must not mutate them.
@@ -89,6 +111,7 @@ func (e *perObject) obj(key string) Engine {
 
 func (e *perObject) LocalOp(op workload.Op) {
 	e.obj(op.Key).LocalOp(op)
+	e.active[op.Key] = struct{}{}
 }
 
 // batcher accumulates inner sends per destination and flushes them as
@@ -129,9 +152,27 @@ func (b *batcher) flush(send Sender) {
 }
 
 func (e *perObject) Sync(send Sender) {
+	if len(e.active) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(e.active))
+	for k := range e.active {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
 	b := newBatcher()
-	for _, key := range e.keys {
-		e.objects[key].Sync(b.sender(key))
+	for _, key := range keys {
+		inner := b.sender(key)
+		emitted := false
+		e.objects[key].Sync(func(to string, m Msg) {
+			emitted = true
+			inner(to, m)
+		})
+		if !emitted {
+			// The object had nothing to say and goes quiescent until
+			// the next LocalOp or Deliver touches it.
+			delete(e.active, key)
+		}
 	}
 	b.flush(send)
 }
@@ -144,6 +185,7 @@ func (e *perObject) Deliver(from string, m Msg, send Sender) {
 	b := newBatcher()
 	for _, it := range bm.Items {
 		e.obj(it.Key).Deliver(from, it.Inner, b.sender(it.Key))
+		e.active[it.Key] = struct{}{}
 	}
 	// Replies (e.g. Scuttlebutt pulls) are batched and sent onwards.
 	b.flush(send)

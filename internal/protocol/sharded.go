@@ -1,0 +1,61 @@
+package protocol
+
+import (
+	"crdtsync/internal/lattice"
+	"crdtsync/internal/metrics"
+)
+
+// ShardItem is one shard's protocol message inside a sharded frame.
+type ShardItem struct {
+	Shard uint32
+	Msg   Msg
+}
+
+// ShardedMsg coalesces the per-shard messages a multi-object store sends
+// to one neighbor in one synchronization tick into a single wire frame:
+// instead of one TCP frame per shard (or worse, per object), the transport
+// ships one frame carrying deltas for many keys across many shards. The
+// shard index routes each inner message to the peer's matching shard, so
+// both sides must run the same shard count.
+type ShardedMsg struct {
+	Items []ShardItem
+	cost  metrics.Transmission
+}
+
+// Kind implements Msg.
+func (m *ShardedMsg) Kind() string { return "sharded" }
+
+// Cost implements Msg.
+func (m *ShardedMsg) Cost() metrics.Transmission { return m.cost }
+
+// NewShardedMsg builds a ShardedMsg, aggregating the inner accounting:
+// one message on the wire, inner elements/payload summed, and 4 bytes of
+// routing metadata per shard index.
+func NewShardedMsg(items []ShardItem) *ShardedMsg {
+	cost := metrics.Transmission{Messages: 1}
+	for _, it := range items {
+		ic := it.Msg.Cost()
+		cost.Elements += ic.Elements
+		cost.PayloadBytes += ic.PayloadBytes
+		cost.MetadataBytes += ic.MetadataBytes + 4
+	}
+	return &ShardedMsg{Items: items, cost: cost}
+}
+
+// NewShardedMsgWithCost rebuilds a ShardedMsg with explicit accounting;
+// used by transports that deserialize frames from the wire.
+func NewShardedMsgWithCost(items []ShardItem, cost metrics.Transmission) *ShardedMsg {
+	return &ShardedMsg{Items: items, cost: cost}
+}
+
+// KeyedEngine is implemented by engines that replicate a keyspace of named
+// objects (NewPerObject). It adds per-key access on top of Engine, letting
+// callers read one object without materializing the aggregate state map.
+type KeyedEngine interface {
+	Engine
+	// Keys returns the known object keys in sorted order.
+	Keys() []string
+	// ObjectState returns the state of one object, or nil if the key is
+	// unknown. The state is shared, not cloned; callers must not mutate.
+	ObjectState(key string) lattice.State
+}

@@ -1,0 +1,155 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"crdtsync/internal/codec"
+	"crdtsync/internal/protocol"
+)
+
+// peerNet owns the connection plumbing shared by Node and Store: the
+// listener, outbound connections (dialed lazily, dropped on write error),
+// accepted inbound connections, and the accept/read loops that decode
+// frames into protocol messages. Owners supply a deliver callback and keep
+// their own synchronization loops.
+type peerNet struct {
+	id       string
+	peers    map[string]string
+	ln       net.Listener
+	mu       sync.Mutex // guards conns and accepted
+	conns    map[string]net.Conn
+	accepted map[net.Conn]struct{}
+	stopping chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+func newPeerNet(id string, peers map[string]string, ln net.Listener) *peerNet {
+	return &peerNet{
+		id:       id,
+		peers:    peers,
+		ln:       ln,
+		conns:    make(map[string]net.Conn),
+		accepted: make(map[net.Conn]struct{}),
+		stopping: make(chan struct{}),
+	}
+}
+
+// start launches the accept loop; deliver runs for every decoded inbound
+// message, on the connection's read goroutine.
+func (p *peerNet) start(deliver func(from string, m protocol.Msg)) {
+	p.wg.Add(1)
+	go p.acceptLoop(deliver)
+}
+
+func (p *peerNet) addr() string { return p.ln.Addr().String() }
+
+// errClosed reports a transmit attempted after close.
+var errClosed = errors.New("transport: peer network closed")
+
+// transmit writes one frame, dialing the peer if needed. On write failure
+// the connection is dropped and the error returned; callers decide whether
+// the protocol resends (acked engines) or the data is lost.
+func (p *peerNet) transmit(to string, data []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	select {
+	case <-p.stopping:
+		// A sync tick racing close() must not dial fresh connections
+		// into the already-emptied conn map: they would never be closed.
+		return errClosed
+	default:
+	}
+	conn, err := p.dialLocked(to)
+	if err != nil {
+		return err
+	}
+	if err := writeFrame(conn, p.id, data); err != nil {
+		conn.Close()
+		delete(p.conns, to)
+		return err
+	}
+	return nil
+}
+
+// dialLocked returns (establishing if needed) the connection to a peer;
+// callers hold p.mu.
+func (p *peerNet) dialLocked(to string) (net.Conn, error) {
+	if c, ok := p.conns[to]; ok {
+		return c, nil
+	}
+	addr, ok := p.peers[to]
+	if !ok {
+		return nil, fmt.Errorf("transport: unknown peer %s", to)
+	}
+	c, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	p.conns[to] = c
+	return c, nil
+}
+
+func (p *peerNet) acceptLoop(deliver func(from string, m protocol.Msg)) {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			select {
+			case <-p.stopping:
+				return
+			default:
+				continue
+			}
+		}
+		p.mu.Lock()
+		p.accepted[conn] = struct{}{}
+		p.mu.Unlock()
+		p.wg.Add(1)
+		go p.readLoop(conn, deliver)
+	}
+}
+
+func (p *peerNet) readLoop(conn net.Conn, deliver func(from string, m protocol.Msg)) {
+	defer p.wg.Done()
+	defer func() {
+		conn.Close()
+		p.mu.Lock()
+		delete(p.accepted, conn)
+		p.mu.Unlock()
+	}()
+	for {
+		from, data, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		msg, _, err := codec.DecodeMsg(data)
+		if err != nil {
+			return // corrupt peer; drop the connection
+		}
+		deliver(from, msg)
+	}
+}
+
+// close stops the accept loop and closes every connection. Accepted
+// connections park their readLoops in blocking reads; closing them here
+// is what lets wg.Wait return. Idempotent.
+func (p *peerNet) close() error {
+	p.stopOnce.Do(func() { close(p.stopping) })
+	err := p.ln.Close()
+	p.mu.Lock()
+	for _, c := range p.conns {
+		c.Close()
+	}
+	p.conns = make(map[string]net.Conn)
+	for c := range p.accepted {
+		c.Close()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+	return err
+}

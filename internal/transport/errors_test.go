@@ -1,0 +1,147 @@
+package transport_test
+
+import (
+	"encoding/binary"
+	"net"
+	"testing"
+	"time"
+
+	"crdtsync/internal/crdt"
+	"crdtsync/internal/protocol"
+	"crdtsync/internal/transport"
+	"crdtsync/internal/workload"
+)
+
+// dialNode opens a raw TCP connection to a node's listener.
+func dialNode(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		t.Fatalf("dial %s: %v", addr, err)
+	}
+	return conn
+}
+
+// expectDrop asserts the server closes the connection (read returns an
+// error once our bytes are processed).
+func expectDrop(t *testing.T, conn net.Conn) {
+	t.Helper()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	var one [1]byte
+	if _, err := conn.Read(one[:]); err == nil {
+		t.Error("server kept the connection open, want drop")
+	}
+}
+
+func TestNodeDropsOversizedFrame(t *testing.T) {
+	nodes := startCluster(t, 2, [][2]int{{0, 1}}, protocol.NewDeltaBPRR())
+	conn := dialNode(t, nodes[0].Addr())
+	defer conn.Close()
+	// A length prefix beyond the 64 MiB cap must get the connection
+	// dropped without the node allocating the claimed buffer.
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 1<<30)
+	if _, err := conn.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	expectDrop(t, conn)
+	// The node is still healthy: real traffic converges.
+	nodes[1].Update(workload.Op{Kind: workload.KindAdd, Elem: "alive"})
+	waitConverged(t, nodes, crdt.NewGSet("alive"), 5*time.Second)
+}
+
+func TestNodeDropsCorruptFrame(t *testing.T) {
+	nodes := startCluster(t, 2, [][2]int{{0, 1}}, protocol.NewDeltaBPRR())
+	conn := dialNode(t, nodes[0].Addr())
+	defer conn.Close()
+	// Well-framed garbage: valid length and sender id, unparseable
+	// message body (unknown codec tag).
+	body := []byte{0, 2, 'z', 'z', 250, 1, 2, 3}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	conn.Write(hdr[:])
+	conn.Write(body)
+	expectDrop(t, conn)
+	nodes[0].Update(workload.Op{Kind: workload.KindAdd, Elem: "still-up"})
+	waitConverged(t, nodes, crdt.NewGSet("still-up"), 5*time.Second)
+}
+
+func TestNodeCloseWhilePeerMidFrame(t *testing.T) {
+	nodes := startCluster(t, 1, nil, protocol.NewDeltaBPRR())
+	conn := dialNode(t, nodes[0].Addr())
+	defer conn.Close()
+	// Send only a header promising 100 bytes: the node's readLoop parks
+	// in io.ReadFull. Close must still return promptly.
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 100)
+	if _, err := conn.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond) // let the readLoop pick up the conn
+	done := make(chan error, 1)
+	go func() { done <- nodes[0].Close() }()
+	select {
+	case err := <-done:
+		if err != nil && !isUseOfClosed(err) {
+			t.Errorf("close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung on a peer stuck mid-frame")
+	}
+}
+
+func TestStoreCloseWhilePeerMidFrame(t *testing.T) {
+	st, err := transport.StartStore(transport.StoreConfig{
+		ID:         "solo",
+		ListenAddr: "127.0.0.1:0",
+		Peers:      map[string]string{},
+		Factory:    protocol.NewDeltaBPRR(),
+		ObjType:    func(string) workload.Datatype { return workload.GCounterType{} },
+		SyncEvery:  time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := dialNode(t, st.Addr())
+	defer conn.Close()
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 100)
+	if _, err := conn.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	done := make(chan error, 1)
+	go func() { done <- st.Close() }()
+	select {
+	case err := <-done:
+		if err != nil && !isUseOfClosed(err) {
+			t.Errorf("close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Store.Close hung on a peer stuck mid-frame")
+	}
+}
+
+func TestStoreIgnoresNonShardedFrames(t *testing.T) {
+	// A store receiving a frame that decodes to a non-sharded message
+	// (e.g. from a plain Node misconfigured to peer with it) ignores the
+	// message and keeps the connection.
+	stores := startStoreCluster(t, 2, 4, protocol.NewDeltaBPRR(), 20*time.Millisecond)
+	node, err := transport.Start(transport.Config{
+		ID:         "legacy",
+		ListenAddr: "127.0.0.1:0",
+		Peers:      map[string]string{stores[0].ID(): stores[0].Addr()},
+		Datatype:   workload.GSetType{},
+		Factory:    protocol.NewDeltaBPRR(),
+		SyncEvery:  time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	node.Update(workload.Op{Kind: workload.KindAdd, Elem: "x"})
+	node.SyncNow() // delivers a DeltaMsg frame to the store
+	// The store must stay healthy and keep syncing its own keyspace.
+	stores[0].Update(workload.Op{Kind: workload.KindInc, Key: "k", N: 1})
+	waitStoresConverged(t, stores, 1, 5*time.Second)
+}

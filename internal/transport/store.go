@@ -1,0 +1,377 @@
+package transport
+
+import (
+	"fmt"
+	"hash/fnv"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"crdtsync/internal/codec"
+	"crdtsync/internal/lattice"
+	"crdtsync/internal/metrics"
+	"crdtsync/internal/protocol"
+	"crdtsync/internal/workload"
+)
+
+// StoreConfig describes one replica of a sharded multi-object store.
+type StoreConfig struct {
+	// ID is this replica's identifier.
+	ID string
+	// ListenAddr is the TCP address to accept neighbor frames on.
+	ListenAddr string
+	// Listener, when non-nil, is used instead of binding ListenAddr.
+	Listener net.Listener
+	// Peers maps neighbor ids to their listen addresses.
+	Peers map[string]string
+	// Nodes is the full membership (sorted); defaults to ID + peers.
+	Nodes []string
+	// Shards is the shard count, rounded up to a power of two
+	// (default 16). Every replica in a cluster must use the same value:
+	// the shard index is frame routing metadata.
+	Shards int
+	// Factory builds the inner per-object protocol engine
+	// (e.g. protocol.NewDeltaBPRR()).
+	Factory protocol.Factory
+	// ObjType chooses the datatype of each object from its key.
+	ObjType func(key string) workload.Datatype
+	// SyncEvery is the synchronization period (default 1s).
+	SyncEvery time.Duration
+}
+
+// StoreStats counts what a store has put on the wire.
+type StoreStats struct {
+	// Frames is the number of TCP frames written.
+	Frames int
+	// WireBytes is the total bytes written, including frame headers.
+	WireBytes int
+	// Sent is the aggregated protocol-level transmission accounting.
+	Sent metrics.Transmission
+}
+
+// shard is one lock domain: a per-object engine (a keyspace partition)
+// plus the mutex that serializes access to it. Updates and syncs on keys
+// hashing to different shards never contend.
+type shard struct {
+	mu     sync.Mutex
+	engine protocol.KeyedEngine
+}
+
+// Store is a live replica of a sharded multi-object keyspace: N shards,
+// each holding a map of named CRDT objects with its own engine instance,
+// mutex, and δ-buffers. Keys are routed to shards by hash; per-shard
+// outgoing deltas are coalesced into one batched frame per neighbor on
+// each sync tick, so a tick costs one TCP frame per peer regardless of
+// how many objects changed.
+//
+// Store generalizes Node (one engine, one object, one mutex) to the
+// deployment model of the paper's Retwis evaluation: many independent
+// objects, each with its own δ-buffer, synchronized together.
+type Store struct {
+	cfg      StoreConfig
+	net      *peerNet
+	shards   []*shard
+	mask     uint32
+	statsMu  sync.Mutex
+	stats    StoreStats
+	stopping chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup // syncLoop
+}
+
+// nextPow2 rounds n up to the next power of two (minimum 1).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// StartStore binds the listener, builds one per-object engine per shard,
+// and launches the accept and synchronization loops.
+func StartStore(cfg StoreConfig) (*Store, error) {
+	if cfg.Factory == nil || cfg.ObjType == nil {
+		return nil, fmt.Errorf("transport: StoreConfig needs Factory and ObjType")
+	}
+	if cfg.SyncEvery <= 0 {
+		cfg.SyncEvery = time.Second
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 16
+	}
+	cfg.Shards = nextPow2(cfg.Shards)
+	neighbors := make([]string, 0, len(cfg.Peers))
+	for id := range cfg.Peers {
+		neighbors = append(neighbors, id)
+	}
+	sort.Strings(neighbors)
+	nodes := cfg.Nodes
+	if nodes == nil {
+		nodes = append([]string{cfg.ID}, neighbors...)
+		sort.Strings(nodes)
+	}
+	factory := protocol.NewPerObject(cfg.Factory, cfg.ObjType)
+	shards := make([]*shard, cfg.Shards)
+	for i := range shards {
+		eng := factory(protocol.Config{
+			ID:        cfg.ID,
+			Neighbors: neighbors,
+			Nodes:     nodes,
+		})
+		keyed, ok := eng.(protocol.KeyedEngine)
+		if !ok {
+			return nil, fmt.Errorf("transport: per-object engine does not implement KeyedEngine")
+		}
+		shards[i] = &shard{engine: keyed}
+	}
+	ln := cfg.Listener
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", cfg.ListenAddr)
+		if err != nil {
+			return nil, fmt.Errorf("transport: listen %s: %w", cfg.ListenAddr, err)
+		}
+	}
+	s := &Store{
+		cfg:      cfg,
+		net:      newPeerNet(cfg.ID, cfg.Peers, ln),
+		shards:   shards,
+		mask:     uint32(cfg.Shards - 1),
+		stopping: make(chan struct{}),
+	}
+	s.net.start(s.deliver)
+	s.wg.Add(1)
+	go s.syncLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Store) Addr() string { return s.net.addr() }
+
+// ID returns the replica identifier.
+func (s *Store) ID() string { return s.cfg.ID }
+
+// NumShards returns the effective (power-of-two) shard count.
+func (s *Store) NumShards() int { return len(s.shards) }
+
+// fnv32a is an allocation-free FNV-1a over a key (hash/fnv's hasher
+// escapes through the interface and would allocate on every Update/Get).
+func fnv32a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// shardOf routes a key to its shard by FNV-1a hash.
+func (s *Store) shardOf(key string) *shard {
+	return s.shards[fnv32a(key)&s.mask]
+}
+
+// Update applies one local operation to the object named by op.Key.
+// Only that key's shard is locked; updates on different shards proceed
+// concurrently.
+func (s *Store) Update(op workload.Op) {
+	sh := s.shardOf(op.Key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.engine.LocalOp(op)
+}
+
+// Get returns a snapshot of one object's state, or nil if the key is
+// unknown.
+func (s *Store) Get(key string) lattice.State {
+	sh := s.shardOf(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st := sh.engine.ObjectState(key)
+	if st == nil {
+		return nil
+	}
+	return st.Clone()
+}
+
+// NumKeys returns the number of distinct objects across all shards.
+func (s *Store) NumKeys() int {
+	total := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		total += len(sh.engine.Keys())
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// Keys returns all object keys, sorted.
+func (s *Store) Keys() []string {
+	var all []string
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		all = append(all, sh.engine.Keys()...)
+		sh.mu.Unlock()
+	}
+	sort.Strings(all)
+	return all
+}
+
+// Digest hashes every object's key and canonical encoding into one
+// 64-bit value. Two stores with the same shard count that hold the same
+// keyspace in the same states produce equal digests, making convergence
+// checks O(state) without shipping states around. (The codec is
+// canonical: equal states encode to equal bytes.)
+func (s *Store) Digest() uint64 {
+	h := fnv.New64a()
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for _, k := range sh.engine.Keys() {
+			h.Write([]byte(k))
+			h.Write(codec.Encode(sh.engine.ObjectState(k)))
+		}
+		sh.mu.Unlock()
+	}
+	return h.Sum64()
+}
+
+// Memory aggregates the memory footprint across shards.
+func (s *Store) Memory() metrics.Memory {
+	var total metrics.Memory
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		m := sh.engine.Memory()
+		sh.mu.Unlock()
+		total.CRDTBytes += m.CRDTBytes
+		total.BufferBytes += m.BufferBytes
+		total.MetadataBytes += m.MetadataBytes
+	}
+	return total
+}
+
+// Stats returns a snapshot of the wire accounting.
+func (s *Store) Stats() StoreStats {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	return s.stats
+}
+
+// outBatch accumulates per-destination shard items in first-send order.
+type outBatch struct {
+	perDest map[string][]protocol.ShardItem
+	order   []string
+}
+
+func newOutBatch() *outBatch {
+	return &outBatch{perDest: make(map[string][]protocol.ShardItem)}
+}
+
+// sender adapts a shard's engine sends into tagged shard items.
+func (b *outBatch) sender(shardIdx uint32) protocol.Sender {
+	return func(to string, m protocol.Msg) {
+		if _, ok := b.perDest[to]; !ok {
+			b.order = append(b.order, to)
+		}
+		b.perDest[to] = append(b.perDest[to], protocol.ShardItem{Shard: shardIdx, Msg: m})
+	}
+}
+
+// SyncNow runs one synchronization step on every shard and flushes one
+// coalesced frame per destination.
+func (s *Store) SyncNow() {
+	b := newOutBatch()
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		sh.engine.Sync(b.sender(uint32(i)))
+		sh.mu.Unlock()
+	}
+	s.flush(b)
+}
+
+// flush encodes one ShardedMsg per destination and transmits it.
+// Callers must not hold any shard lock: a slow peer can then never block
+// updates or inbound handling on other connections.
+func (s *Store) flush(b *outBatch) {
+	for _, to := range b.order {
+		m := protocol.NewShardedMsg(b.perDest[to])
+		data, err := codec.EncodeMsg(m)
+		if err != nil {
+			// Engines produced an unencodable message: a programming
+			// error in the engine/codec pairing.
+			panic(err)
+		}
+		s.transmit(to, data, m.Cost())
+	}
+}
+
+// transmit writes one frame and records wire stats on success. A send
+// failure drops the frame: a neighbor that is down catches up on a later
+// tick when the inner engines resend (acked engines retransmit until
+// acknowledged; plain delta-based assumes reliable channels, so pair it
+// with this transport only where TCP-level loss is acceptable).
+func (s *Store) transmit(to string, data []byte, cost metrics.Transmission) {
+	if err := s.net.transmit(to, data); err != nil {
+		return // neighbor down or unknown; inner engines resend
+	}
+	s.statsMu.Lock()
+	s.stats.Frames++
+	s.stats.WireBytes += 4 + 2 + len(s.cfg.ID) + len(data)
+	s.stats.Sent.Add(cost)
+	s.statsMu.Unlock()
+}
+
+// deliver routes one inbound frame's items to their shards, coalescing
+// any replies (acks, Scuttlebutt pulls) the same way syncs are. Replies
+// are flushed on their own goroutine: the read goroutine must never block
+// on an outbound TCP write, or two nodes with mutually full send buffers
+// would stop draining their sockets and deadlock each other.
+func (s *Store) deliver(from string, msg protocol.Msg) {
+	sm, ok := msg.(*protocol.ShardedMsg)
+	if !ok {
+		return // stores speak only sharded frames; ignore others
+	}
+	b := newOutBatch()
+	for _, it := range sm.Items {
+		idx := int(it.Shard)
+		if idx >= len(s.shards) {
+			continue // shard-count mismatch; drop the item
+		}
+		sh := s.shards[idx]
+		sh.mu.Lock()
+		sh.engine.Deliver(from, it.Msg, b.sender(it.Shard))
+		sh.mu.Unlock()
+	}
+	if len(b.order) == 0 {
+		return
+	}
+	// Deliver runs on a peerNet read goroutine, all of which finish
+	// before Close's wg.Wait starts, so this Add cannot race it.
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.flush(b)
+	}()
+}
+
+func (s *Store) syncLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.cfg.SyncEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stopping:
+			return
+		case <-ticker.C:
+			s.SyncNow()
+		}
+	}
+}
+
+// Close stops the loops and closes every connection. It is idempotent.
+func (s *Store) Close() error {
+	s.stopOnce.Do(func() { close(s.stopping) })
+	err := s.net.close()
+	s.wg.Wait()
+	return err
+}

@@ -63,15 +63,12 @@ type Config struct {
 // so a slow peer can never deadlock message handling.
 type Node struct {
 	cfg      Config
-	ln       net.Listener
+	net      *peerNet
 	engine   protocol.Engine
 	mu       sync.Mutex // guards engine
-	connMu   sync.Mutex // guards conns and accepted
-	conns    map[string]net.Conn
-	accepted map[net.Conn]struct{}
 	stopping chan struct{}
 	stopOnce sync.Once
-	wg       sync.WaitGroup
+	wg       sync.WaitGroup // syncLoop
 }
 
 // outFrame is a frame captured under the engine lock, flushed after it is
@@ -113,27 +110,40 @@ func Start(cfg Config) (*Node, error) {
 	}
 	n := &Node{
 		cfg:      cfg,
-		ln:       ln,
+		net:      newPeerNet(cfg.ID, cfg.Peers, ln),
 		engine:   engine,
-		conns:    make(map[string]net.Conn),
-		accepted: make(map[net.Conn]struct{}),
 		stopping: make(chan struct{}),
 	}
-	n.wg.Add(2)
-	go n.acceptLoop()
+	n.net.start(func(from string, msg protocol.Msg) {
+		// Replies are flushed on their own goroutine: the read goroutine
+		// must never block on an outbound TCP write, or two nodes with
+		// mutually full send buffers would deadlock each other.
+		out := n.collect(func(send protocol.Sender) {
+			n.engine.Deliver(from, msg, send)
+		})
+		if len(out) == 0 {
+			return
+		}
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.transmitAll(out)
+		}()
+	})
+	n.wg.Add(1)
 	go n.syncLoop()
 	return n, nil
 }
 
 // Addr returns the bound listen address (useful with ":0").
-func (n *Node) Addr() string { return n.ln.Addr().String() }
+func (n *Node) Addr() string { return n.net.addr() }
 
 // ID returns the replica identifier.
 func (n *Node) ID() string { return n.cfg.ID }
 
-// withEngine runs fn under the engine lock, collecting outbound messages,
-// and flushes them over TCP after the lock is released.
-func (n *Node) withEngine(fn func(send protocol.Sender)) {
+// collect runs fn under the engine lock, returning the outbound frames it
+// produced for the caller to transmit after the lock is released.
+func (n *Node) collect(fn func(send protocol.Sender)) []outFrame {
 	var out []outFrame
 	n.mu.Lock()
 	fn(func(to string, m protocol.Msg) {
@@ -146,9 +156,22 @@ func (n *Node) withEngine(fn func(send protocol.Sender)) {
 		out = append(out, outFrame{to: to, data: data})
 	})
 	n.mu.Unlock()
+	return out
+}
+
+// transmitAll writes the collected frames. Send failures are dropped: a
+// neighbor that is down catches up on a later tick (acked engines resend;
+// plain delta-based assumes reliable channels).
+func (n *Node) transmitAll(out []outFrame) {
 	for _, f := range out {
-		n.transmit(f)
+		n.net.transmit(f.to, f.data)
 	}
+}
+
+// withEngine runs fn under the engine lock and flushes the messages it
+// sent over TCP after the lock is released.
+func (n *Node) withEngine(fn func(send protocol.Sender)) {
+	n.transmitAll(n.collect(fn))
 }
 
 // Update applies one local operation.
@@ -174,96 +197,9 @@ func (n *Node) SyncNow() {
 // Close stops the loops and closes every connection. It is idempotent.
 func (n *Node) Close() error {
 	n.stopOnce.Do(func() { close(n.stopping) })
-	err := n.ln.Close()
-	n.connMu.Lock()
-	for _, c := range n.conns {
-		c.Close()
-	}
-	n.conns = make(map[string]net.Conn)
-	// Accepted connections park their readLoops in blocking reads;
-	// closing them here is what lets wg.Wait return.
-	for c := range n.accepted {
-		c.Close()
-	}
-	n.connMu.Unlock()
+	err := n.net.close()
 	n.wg.Wait()
 	return err
-}
-
-// transmit writes one frame, dialing the peer if needed. Failures are
-// dropped: anti-entropy protocols resend on the next tick.
-func (n *Node) transmit(f outFrame) {
-	n.connMu.Lock()
-	defer n.connMu.Unlock()
-	conn, err := n.dialLocked(f.to)
-	if err != nil {
-		return // neighbor down; protocols retry next tick
-	}
-	if err := writeFrame(conn, n.cfg.ID, f.data); err != nil {
-		conn.Close()
-		delete(n.conns, f.to)
-	}
-}
-
-// dialLocked returns (establishing if needed) the connection to a peer;
-// callers hold n.connMu.
-func (n *Node) dialLocked(to string) (net.Conn, error) {
-	if c, ok := n.conns[to]; ok {
-		return c, nil
-	}
-	addr, ok := n.cfg.Peers[to]
-	if !ok {
-		return nil, fmt.Errorf("transport: unknown peer %s", to)
-	}
-	c, err := net.DialTimeout("tcp", addr, 2*time.Second)
-	if err != nil {
-		return nil, err
-	}
-	n.conns[to] = c
-	return c, nil
-}
-
-func (n *Node) acceptLoop() {
-	defer n.wg.Done()
-	for {
-		conn, err := n.ln.Accept()
-		if err != nil {
-			select {
-			case <-n.stopping:
-				return
-			default:
-				continue
-			}
-		}
-		n.connMu.Lock()
-		n.accepted[conn] = struct{}{}
-		n.connMu.Unlock()
-		n.wg.Add(1)
-		go n.readLoop(conn)
-	}
-}
-
-func (n *Node) readLoop(conn net.Conn) {
-	defer n.wg.Done()
-	defer func() {
-		conn.Close()
-		n.connMu.Lock()
-		delete(n.accepted, conn)
-		n.connMu.Unlock()
-	}()
-	for {
-		from, data, err := readFrame(conn)
-		if err != nil {
-			return
-		}
-		msg, _, err := codec.DecodeMsg(data)
-		if err != nil {
-			return // corrupt peer; drop the connection
-		}
-		n.withEngine(func(send protocol.Sender) {
-			n.engine.Deliver(from, msg, send)
-		})
-	}
 }
 
 func (n *Node) syncLoop() {

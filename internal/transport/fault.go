@@ -1,0 +1,170 @@
+package transport
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Fault is a netsim-style fault injector for the TCP transport: wrapped
+// around a store's dialer (StoreConfig.Dial), it intercepts every
+// outbound frame and applies a seeded drop / duplicate / delay policy, or
+// severs links entirely to simulate partitions. Faults act on whole
+// frames — the wrapper reassembles the length-prefixed framing on the
+// write side — so injected loss looks like a lost message, never a torn
+// byte stream that would desynchronize the receiver's framing and kill
+// the connection.
+//
+// All knobs are safe to change while connections are live: each frame
+// consults the current policy, so a partition heals on existing
+// connections without redialing.
+type Fault struct {
+	mu       sync.Mutex
+	rng      *rand.Rand
+	dropRate float64
+	dupRate  float64
+	delay    time.Duration
+	sever    func(peer string) bool
+}
+
+// NewFault returns a fault injector with a deterministic frame-fate
+// sequence derived from seed and no faults enabled.
+func NewFault(seed int64) *Fault {
+	return &Fault{rng: rand.New(rand.NewSource(seed))}
+}
+
+// SetDropRate makes each frame independently vanish with probability r.
+func (f *Fault) SetDropRate(r float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.dropRate = r
+}
+
+// SetDupRate makes each surviving frame arrive twice with probability r.
+func (f *Fault) SetDupRate(r float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.dupRate = r
+}
+
+// SetDelay holds every surviving frame for d before writing it, which
+// also reorders frames relative to later undelayed ones.
+func (f *Fault) SetDelay(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.delay = d
+}
+
+// SetSever installs a per-peer blackhole: while fn returns true for a
+// peer, every frame to it is dropped. Partition tests flip this to cut a
+// store off and later heal it.
+func (f *Fault) SetSever(fn func(peer string) bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.sever = fn
+}
+
+// decide rolls the fate of one frame to peer.
+func (f *Fault) decide(peer string) (drop, dup bool, delay time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.sever != nil && f.sever(peer) {
+		return true, false, 0
+	}
+	drop = f.dropRate > 0 && f.rng.Float64() < f.dropRate
+	if !drop {
+		dup = f.dupRate > 0 && f.rng.Float64() < f.dupRate
+	}
+	return drop, dup, f.delay
+}
+
+// Dialer wraps base (nil for the default TCP dialer) so every connection
+// it establishes passes outbound frames through this injector.
+func (f *Fault) Dialer(base DialFunc) DialFunc {
+	if base == nil {
+		base = defaultDial
+	}
+	return func(id, addr string) (net.Conn, error) {
+		c, err := base(id, addr)
+		if err != nil {
+			return nil, err
+		}
+		return &faultConn{Conn: c, fault: f, peer: id}, nil
+	}
+}
+
+// faultConn applies the fault policy frame by frame on the write side.
+// Reads pass through untouched: faults injected by the writing end of
+// each direction cover every link of a mesh when all stores dial through
+// the same (or a per-store) injector.
+type faultConn struct {
+	net.Conn
+	fault *Fault
+	peer  string
+	mu    sync.Mutex // guards buf and serializes underlying writes
+	buf   []byte
+}
+
+// Write buffers until whole frames (4-byte length prefix + body) are
+// assembled, then decides each frame's fate. The caller always sees a
+// full successful write: a dropped frame is loss on the wire, not a send
+// error, exactly like the simulator's lossy channels.
+func (c *faultConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	c.buf = append(c.buf, p...)
+	var frames [][]byte
+	for {
+		if len(c.buf) < 4 {
+			break
+		}
+		total := int(binary.BigEndian.Uint32(c.buf[:4]))
+		if total > maxFrameBytes || len(c.buf) < 4+total {
+			break
+		}
+		frame := make([]byte, 4+total)
+		copy(frame, c.buf[:4+total])
+		c.buf = c.buf[4+total:]
+		frames = append(frames, frame)
+	}
+	c.mu.Unlock()
+	for _, frame := range frames {
+		if err := c.writeFrame(frame); err != nil {
+			return len(p), err
+		}
+	}
+	return len(p), nil
+}
+
+// writeFrame rolls one frame's fate and performs the surviving writes.
+func (c *faultConn) writeFrame(frame []byte) error {
+	drop, dup, delay := c.fault.decide(c.peer)
+	if drop {
+		return nil
+	}
+	copies := 1
+	if dup {
+		copies = 2
+	}
+	if delay > 0 {
+		// Delayed frames are written from a timer goroutine; write
+		// errors there are indistinguishable from frames lost in flight.
+		time.AfterFunc(delay, func() {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			for i := 0; i < copies; i++ {
+				c.Conn.Write(frame)
+			}
+		})
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := 0; i < copies; i++ {
+		if _, err := c.Conn.Write(frame); err != nil {
+			return err
+		}
+	}
+	return nil
+}

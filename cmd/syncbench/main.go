@@ -28,6 +28,7 @@ func main() {
 	shards := flag.Int("shards", 64, "store experiment: shards per node (rounded to a power of two)")
 	syncEvery := flag.Duration("sync-every", 100*time.Millisecond, "store experiment: synchronization period")
 	engine := flag.String("engine", "acked", "store experiment: inner protocol (acked or delta)")
+	digestEvery := flag.Int("digest-every", 4, "store experiment: ship per-shard digests every N ticks (0 disables digest anti-entropy)")
 	flag.Parse()
 
 	if *list {
@@ -47,11 +48,12 @@ func main() {
 
 	if *expID == "store" {
 		runStoreBench(storeBenchConfig{
-			Keys:      *keys,
-			Nodes:     *nodeCount,
-			Shards:    *shards,
-			SyncEvery: *syncEvery,
-			Engine:    *engine,
+			Keys:        *keys,
+			Nodes:       *nodeCount,
+			Shards:      *shards,
+			SyncEvery:   *syncEvery,
+			Engine:      *engine,
+			DigestEvery: *digestEvery,
 		})
 		return
 	}

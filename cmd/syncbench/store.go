@@ -27,6 +27,9 @@ type storeBenchConfig struct {
 	// are repaired; the production-safe default) or "delta" (plain BP+RR,
 	// the paper's optimal engine, which assumes no frame is ever lost).
 	Engine string
+	// DigestEvery ships per-shard digest vectors every N ticks so peers
+	// pull diverged shards in full; 0 disables digest anti-entropy.
+	DigestEvery int
 }
 
 // runStoreBench drives the benchmark and prints a throughput /
@@ -50,11 +53,12 @@ func runStoreBench(cfg storeBenchConfig) {
 		os.Exit(2)
 	}
 	stores, err := transport.LoopbackCluster(cfg.Nodes, transport.StoreConfig{
-		ID:        "store",
-		Shards:    cfg.Shards,
-		Factory:   factory,
-		ObjType:   func(string) workload.Datatype { return workload.GCounterType{} },
-		SyncEvery: cfg.SyncEvery,
+		ID:          "store",
+		Shards:      cfg.Shards,
+		Factory:     factory,
+		ObjType:     func(string) workload.Datatype { return workload.GCounterType{} },
+		SyncEvery:   cfg.SyncEvery,
+		DigestEvery: cfg.DigestEvery,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -67,6 +71,9 @@ func runStoreBench(cfg storeBenchConfig) {
 	fmt.Printf("store: %d nodes (full mesh), %d shards/node, %d keys, sync every %s\n",
 		cfg.Nodes, stores[0].NumShards(), cfg.Keys, cfg.SyncEvery)
 	fmt.Printf("engine: %s\n", engineDesc)
+	if cfg.DigestEvery > 0 {
+		fmt.Printf("anti-entropy: per-shard digests every %d ticks\n", cfg.DigestEvery)
+	}
 
 	// Phase 1: load. Each store increments a disjoint slice of the
 	// keyspace from several goroutines (updates on different shards never
@@ -97,10 +104,7 @@ func runStoreBench(cfg storeBenchConfig) {
 
 	var total transport.StoreStats
 	for _, st := range stores {
-		s := st.Stats()
-		total.Frames += s.Frames
-		total.WireBytes += s.WireBytes
-		total.Sent.Add(s.Sent)
+		total.Add(st.Stats())
 	}
 	fmt.Printf("converged: %d keys on every replica in %s (digest %x)\n",
 		cfg.Keys, syncDur.Round(time.Millisecond), stores[0].Digest())
@@ -108,6 +112,11 @@ func runStoreBench(cfg storeBenchConfig) {
 		total.Frames, fmtBytes(total.WireBytes),
 		fmtBytes(total.Sent.PayloadBytes), fmtBytes(total.Sent.MetadataBytes),
 		total.Sent.Elements)
+	if cfg.DigestEvery > 0 || total.SplitFrames > 0 || total.OversizedDropped > 0 {
+		fmt.Printf("anti-entropy: %d digest frames, %d shards requested, %d shards served in full; %d split frames, %d oversized drops\n",
+			total.DigestFrames, total.WantShards, total.RepairShards,
+			total.SplitFrames, total.OversizedDropped)
+	}
 	if total.Frames > 0 {
 		fmt.Printf("batching: %.0f keys/frame average, %.1f frames/node\n",
 			float64(total.Sent.Elements)/float64(total.Frames),

@@ -1,6 +1,7 @@
 package codec_test
 
 import (
+	"bytes"
 	"testing"
 
 	"crdtsync/internal/codec"
@@ -48,26 +49,69 @@ func FuzzDecodeState(f *testing.F) {
 	})
 }
 
-// FuzzDecodeMsg checks the message decoder never panics.
+// FuzzDecodeMsg checks that arbitrary input never panics the message
+// decoder and that accepted inputs reach an encoding fixed point: the
+// codec is canonical, so decode∘encode must be the identity on the bytes
+// an accepted message re-encodes to.
 func FuzzDecodeMsg(f *testing.F) {
 	cost := metrics.Transmission{Messages: 1}
-	if d, err := codec.EncodeMsg(protocol.NewDeltaMsg(crdt.NewGSet("x"), cost)); err == nil {
-		f.Add(d)
+	seed := func(m protocol.Msg) {
+		if d, err := codec.EncodeMsg(m); err == nil {
+			f.Add(d)
+		}
 	}
-	if d, err := codec.EncodeMsg(protocol.NewAckMsg([]uint64{1, 2}, cost)); err == nil {
-		f.Add(d)
-	}
+	seed(protocol.NewDeltaMsg(crdt.NewGSet("x"), cost))
+	seed(protocol.NewAckMsg([]uint64{1, 2}, cost))
+	// The store's wire frames: batched sharded data and digests.
+	batch := protocol.NewBatchMsg([]protocol.ObjectMsg{
+		{Key: "obj:1", Inner: protocol.NewDeltaMsg(crdt.NewGSet("a"), cost)},
+		{Key: "obj:2", Inner: protocol.NewAckedDeltaMsg(crdt.NewGSet("b"), []uint64{3}, cost)},
+	}, cost)
+	seed(batch)
+	seed(protocol.NewShardedMsg([]protocol.ShardItem{
+		{Shard: 0, Msg: batch},
+		{Shard: 7, Msg: protocol.NewAckMsg([]uint64{9}, cost)},
+	}))
+	seed(protocol.NewDigestMsg([]uint64{0, ^uint64(0), 0xdeadbeef}, nil,
+		protocol.DigestCost([]uint64{0, 1, 2}, nil)))
+	seed(protocol.NewDigestMsg(nil, []uint32{0, 5, 4294967295},
+		protocol.DigestCost(nil, []uint32{0, 5, 6})))
 	f.Add([]byte{64})
 	f.Add([]byte{70, 1, 2, 3})
+	f.Add([]byte{72, 0, 0, 0, 0, 2, 1})                   // sharded, 2 items, truncated
+	f.Add([]byte{73, 0, 0, 0, 0, 255, 255, 255, 255, 15}) // digest, hostile count
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		m, _, err := codec.DecodeMsg(data)
+		m, n, err := codec.DecodeMsg(data)
 		if err != nil {
-			return
+			return // rejected input is fine; panics are not
 		}
-		// Accepted messages must re-encode.
-		if _, err := codec.EncodeMsg(m); err != nil {
+		if n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		// Accepted messages must re-encode, re-decode, and re-encode to
+		// the same bytes (canonical fixed point).
+		e1, err := codec.EncodeMsg(m)
+		if err != nil {
 			t.Fatalf("decoded message failed to re-encode: %v", err)
+		}
+		m2, n2, err := codec.DecodeMsg(e1)
+		if err != nil {
+			t.Fatalf("re-encoded message failed to decode: %v", err)
+		}
+		if n2 != len(e1) {
+			t.Fatalf("re-decode consumed %d of %d bytes", n2, len(e1))
+		}
+		if m2.Kind() != m.Kind() || m2.Cost() != m.Cost() {
+			t.Fatalf("re-decode changed kind/cost: %s/%+v vs %s/%+v",
+				m2.Kind(), m2.Cost(), m.Kind(), m.Cost())
+		}
+		e2, err := codec.EncodeMsg(m2)
+		if err != nil {
+			t.Fatalf("second re-encode failed: %v", err)
+		}
+		if !bytes.Equal(e1, e2) {
+			t.Fatalf("encoding not a fixed point: %x vs %x", e1, e2)
 		}
 	})
 }

@@ -22,6 +22,7 @@ const (
 	tagOpsMsg
 	tagBatchMsg
 	tagShardedMsg
+	tagDigestMsg
 )
 
 // maxMsgNesting bounds message nesting during decoding. Legitimate
@@ -246,6 +247,21 @@ func appendMsg(b []byte, m protocol.Msg) ([]byte, error) {
 		}
 		return b, nil
 
+	case *protocol.DigestMsg:
+		b = append(b, tagDigestMsg)
+		b = appendCost(b, v.Cost())
+		b = binary.AppendUvarint(b, uint64(len(v.Digests)))
+		for _, d := range v.Digests {
+			// Digests are hash values: fixed 8-byte words, since uvarint
+			// averages >9 bytes on uniformly random 64-bit values.
+			b = binary.BigEndian.AppendUint64(b, d)
+		}
+		b = binary.AppendUvarint(b, uint64(len(v.Want)))
+		for _, w := range v.Want {
+			b = binary.AppendUvarint(b, uint64(w))
+		}
+		return b, nil
+
 	default:
 		return nil, fmt.Errorf("codec: no wire format for message %T", m)
 	}
@@ -427,6 +443,49 @@ func readMsgBody(tag byte, data []byte, depth int) (protocol.Msg, int, error) {
 			items = append(items, protocol.ShardItem{Shard: uint32(shard), Msg: inner})
 		}
 		return protocol.NewShardedMsgWithCost(items, cost), n, nil
+
+	case tagDigestMsg:
+		count, m, err := readUvarint(data[n:])
+		if err != nil {
+			return nil, 0, err
+		}
+		n += m
+		// Each digest is a fixed 8-byte word, so a hostile count is
+		// checked against the actual remaining bytes before allocating.
+		if count > uint64(len(data)-n)/8 {
+			return nil, 0, ErrTruncated
+		}
+		var digests []uint64
+		if count > 0 {
+			digests = make([]uint64, count)
+			for i := range digests {
+				digests[i] = binary.BigEndian.Uint64(data[n:])
+				n += 8
+			}
+		}
+		wcount, m2, err := readUvarint(data[n:])
+		if err != nil {
+			return nil, 0, err
+		}
+		n += m2
+		var want []uint32
+		if wcount > 0 {
+			want = make([]uint32, 0, capHint(wcount, data[n:]))
+			for i := uint64(0); i < wcount; i++ {
+				w, m3, err := readUvarint(data[n:])
+				if err != nil {
+					return nil, 0, err
+				}
+				if w > math.MaxUint32 {
+					// Same rule as sharded routing: never truncate a
+					// corrupt shard index into the valid range.
+					return nil, 0, fmt.Errorf("codec: shard index %d out of range", w)
+				}
+				n += m3
+				want = append(want, uint32(w))
+			}
+		}
+		return protocol.NewDigestMsg(digests, want, cost), n, nil
 
 	default:
 		return nil, 0, fmt.Errorf("%w: %d", ErrUnknownTag, tag)

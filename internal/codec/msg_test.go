@@ -177,6 +177,55 @@ func TestShardedMsgCostAggregation(t *testing.T) {
 	}
 }
 
+func TestDigestMsgRoundTrip(t *testing.T) {
+	// Advertisement: a digest vector, no wants.
+	vec := []uint64{0, 1, ^uint64(0), 0xdeadbeefcafe}
+	m := protocol.NewDigestMsg(vec, nil, cost())
+	got := msgRoundTrip(t, m).(*protocol.DigestMsg)
+	if len(got.Digests) != 4 || got.Digests[2] != ^uint64(0) || got.Digests[3] != 0xdeadbeefcafe {
+		t.Errorf("digests = %v", got.Digests)
+	}
+	if got.Want != nil {
+		t.Errorf("want = %v, want nil", got.Want)
+	}
+	// Request: shard indices, no digests.
+	r := protocol.NewDigestMsg(nil, []uint32{0, 13, 4294967295}, cost())
+	gotR := msgRoundTrip(t, r).(*protocol.DigestMsg)
+	if len(gotR.Want) != 3 || gotR.Want[2] != 4294967295 {
+		t.Errorf("want = %v", gotR.Want)
+	}
+	if gotR.Digests != nil {
+		t.Errorf("digests = %v, want nil", gotR.Digests)
+	}
+}
+
+func TestDecodeDigestHostileInput(t *testing.T) {
+	header := []byte{73, 0, 0, 0, 0} // tagDigestMsg, zero cost
+	// A count promising 2^60 digests in a few bytes must fail before
+	// allocating, as must one barely above the actual payload.
+	for _, count := range []uint64{1 << 60, 3} {
+		data := binary.AppendUvarint(append([]byte{}, header...), count)
+		data = append(data, make([]byte, 16)...) // room for only 2 digests
+		if _, _, err := codec.DecodeMsg(data); err == nil {
+			t.Errorf("count %d over 16 payload bytes should fail", count)
+		}
+	}
+	// A want index beyond uint32 must be rejected, not truncated into the
+	// valid shard range.
+	data := append(append([]byte{}, header...), 0) // no digests
+	data = binary.AppendUvarint(data, 1)           // one want
+	data = binary.AppendUvarint(data, uint64(1)<<34)
+	if _, _, err := codec.DecodeMsg(data); err == nil {
+		t.Error("out-of-range want index should fail decoding")
+	}
+	// Truncated want list.
+	data = append(append([]byte{}, header...), 0)
+	data = binary.AppendUvarint(data, 5) // promises 5 wants, has none
+	if _, _, err := codec.DecodeMsg(data); err == nil {
+		t.Error("truncated want list should fail decoding")
+	}
+}
+
 func TestDecodeShardIndexOutOfRange(t *testing.T) {
 	// A shard index beyond uint32 must be rejected, not truncated into
 	// the valid range where it would bypass the receiver's bounds check.

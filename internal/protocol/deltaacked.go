@@ -71,13 +71,21 @@ func (e *deltaAcked) State() lattice.State { return e.x }
 
 func (e *deltaAcked) store(s lattice.State, origin string) {
 	e.x.Merge(s)
-	e.nextSeq++
-	e.buf = append(e.buf, &ackedEntry{
-		seq:    e.nextSeq,
+	entry := &ackedEntry{
 		delta:  s,
 		origin: origin,
 		acked:  make(map[string]bool),
-	})
+	}
+	if e.fullyAcked(entry) {
+		// No neighbor ever needs this entry — e.g. its origin is the
+		// only neighbor under BP, or the node has no neighbors at all.
+		// Buffering it would leak: nothing sends it, so no ack could
+		// ever prune it.
+		return
+	}
+	e.nextSeq++
+	entry.seq = e.nextSeq
+	e.buf = append(e.buf, entry)
 }
 
 func (e *deltaAcked) LocalOp(op workload.Op) {
@@ -114,23 +122,35 @@ func (e *deltaAcked) Sync(send Sender) {
 	}
 }
 
+// absorb runs Algorithm 1's receive side on one δ-group: under RR it
+// extracts and stores exactly the part that strictly inflates the local
+// state, otherwise it applies the classic inflation check.
+func (e *deltaAcked) absorb(d lattice.State, from string) {
+	if e.rr {
+		d = core.Delta(d, e.x)
+		if !d.IsBottom() {
+			e.store(d, from)
+		}
+	} else if lattice.StrictlyInflates(d, e.x) {
+		e.store(d, from)
+	}
+}
+
 func (e *deltaAcked) Deliver(from string, m Msg, send Sender) {
 	switch msg := m.(type) {
 	case *AckedDeltaMsg:
-		d := msg.Delta
-		if e.rr {
-			d = core.Delta(d, e.x)
-			if !d.IsBottom() {
-				e.store(d, from)
-			}
-		} else if lattice.StrictlyInflates(d, e.x) {
-			e.store(d, from)
-		}
+		e.absorb(msg.Delta, from)
 		// Acknowledge regardless of redundancy: the data arrived.
 		send(from, &AckMsg{
 			Seqs: msg.Seqs,
 			cost: metrics.Transmission{Messages: 1, MetadataBytes: 8 * len(msg.Seqs)},
 		})
+	case *DeltaMsg:
+		// A δ-group outside the acked sequence space: the store-level
+		// digest anti-entropy repair path ships full object states this
+		// way. Merge what inflates and propagate it onwards; there is
+		// nothing to acknowledge.
+		e.absorb(msg.Delta, from)
 	case *AckMsg:
 		acked := make(map[uint64]bool, len(msg.Seqs))
 		for _, s := range msg.Seqs {

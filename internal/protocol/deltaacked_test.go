@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"crdtsync/internal/crdt"
+	"crdtsync/internal/metrics"
 	"crdtsync/internal/protocol"
 	"crdtsync/internal/workload"
 )
@@ -94,5 +95,79 @@ func TestAckedDeltaBPSkipsOriginAck(t *testing.T) {
 	}
 	if !engines["c"].State().(*crdt.GSet).Contains("x") {
 		t.Error("x did not reach c")
+	}
+}
+
+func TestAckedDeltaMergesRepairDeltaMsg(t *testing.T) {
+	// The store's digest anti-entropy ships full object states as plain
+	// DeltaMsgs outside the acked sequence space. The engine must merge
+	// what inflates and reply with nothing — there are no sequence
+	// numbers to acknowledge.
+	_, b := twoNodes(protocol.NewDeltaAcked(true, true), workload.GSetType{})
+	full := crdt.NewGSet("r1", "r2")
+	var replies []protocol.Msg
+	b.Deliver("a", protocol.NewDeltaMsg(full, metrics.Transmission{Messages: 1}), func(_ string, m protocol.Msg) {
+		replies = append(replies, m)
+	})
+	if len(replies) != 0 {
+		t.Errorf("repair delta triggered %d replies, want none", len(replies))
+	}
+	s := b.State().(*crdt.GSet)
+	if !s.Contains("r1") || !s.Contains("r2") {
+		t.Error("repair delta not merged")
+	}
+	// With BP and "a" as the only neighbor there is nobody to propagate
+	// the repair to: buffering it would leak, since nothing ever sends
+	// (and so nothing ever acks and prunes) the entry.
+	if m := b.Memory(); m.BufferBytes != 0 {
+		t.Errorf("repair with no audience buffered anyway: %d bytes", m.BufferBytes)
+	}
+}
+
+func TestAckedDeltaBuffersRepairForPropagation(t *testing.T) {
+	// With a second neighbor the repair must be buffered and flow
+	// onwards: under BP it is resent to every neighbor except its
+	// origin, until acknowledged.
+	f := protocol.NewDeltaAcked(true, true)
+	nodes := []string{"a", "b", "c"}
+	b := f(protocol.Config{ID: "b", Neighbors: []string{"a", "c"}, Nodes: nodes, Datatype: workload.GSetType{}})
+	b.Deliver("a", protocol.NewDeltaMsg(crdt.NewGSet("r1"), metrics.Transmission{Messages: 1}), func(string, protocol.Msg) {
+		t.Error("repair delta triggered a reply")
+	})
+	if m := b.Memory(); m.BufferBytes == 0 {
+		t.Error("repair delta not buffered for propagation")
+	}
+	sent := map[string]int{}
+	b.Sync(func(to string, m protocol.Msg) { sent[to]++ })
+	if sent["c"] != 1 || sent["a"] != 0 {
+		t.Errorf("repair propagation = %v, want one message to c only (BP skips origin)", sent)
+	}
+	// A redundant repair (nothing new) must not grow the buffer.
+	before := b.Memory().BufferBytes
+	b.Deliver("a", protocol.NewDeltaMsg(crdt.NewGSet("r1"), metrics.Transmission{Messages: 1}), func(string, protocol.Msg) {
+		t.Error("redundant repair triggered a reply")
+	})
+	if after := b.Memory().BufferBytes; after != before {
+		t.Errorf("redundant repair grew the buffer: %d -> %d", before, after)
+	}
+}
+
+func TestAckedDeltaTwoNodeBufferDrains(t *testing.T) {
+	// Regression: in a 2-node BP cluster, an entry received from the
+	// only neighbor is needed by nobody — it must not be buffered, or it
+	// would sit unacked (Sync never sends it back to its origin) and the
+	// δ-buffer would never drain.
+	a, b := twoNodes(protocol.NewDeltaAcked(true, true), workload.GSetType{})
+	engines := map[string]protocol.Engine{"a": a, "b": b}
+	a.LocalOp(addOp("x"))
+	pump(engines, "a")
+	if !b.State().(*crdt.GSet).Contains("x") {
+		t.Fatal("delta not delivered")
+	}
+	if m := b.Memory(); m.BufferBytes != 0 {
+		t.Errorf("receiver buffered an entry it can never send: %d bytes", m.BufferBytes)
+	}
+	if m := a.Memory(); m.BufferBytes != 0 {
+		t.Errorf("sender's entry not pruned after ack: %d bytes", m.BufferBytes)
 	}
 }

@@ -134,21 +134,27 @@ func (b *batcher) sender(key string) Sender {
 	}
 }
 
-// flush emits one BatchMsg per destination, rebuilding the accounting:
-// elements and payload bytes are summed from the inner messages, metadata
-// is one 8-byte sequence number plus the object keys.
+// flush emits one BatchMsg per destination, rebuilding the accounting.
 func (b *batcher) flush(send Sender) {
 	for _, to := range b.order {
-		items := b.pending[to]
-		cost := metrics.Transmission{Messages: 1, MetadataBytes: 8}
-		for _, it := range items {
-			ic := it.Inner.Cost()
-			cost.Elements += ic.Elements
-			cost.PayloadBytes += ic.PayloadBytes
-			cost.MetadataBytes += len(it.Key)
-		}
-		send(to, &BatchMsg{Items: items, cost: cost})
+		send(to, BatchOf(b.pending[to]))
 	}
+}
+
+// BatchOf builds a BatchMsg over items with the standard batch accounting:
+// elements and payload bytes are summed from the inner messages, metadata
+// is one 8-byte sequence number plus the object keys. Transports use it to
+// (re)build batches — e.g. when splitting an oversized batch into several
+// frames, each half needs its accounting recomputed.
+func BatchOf(items []ObjectMsg) *BatchMsg {
+	cost := metrics.Transmission{Messages: 1, MetadataBytes: 8}
+	for _, it := range items {
+		ic := it.Inner.Cost()
+		cost.Elements += ic.Elements
+		cost.PayloadBytes += ic.PayloadBytes
+		cost.MetadataBytes += len(it.Key)
+	}
+	return &BatchMsg{Items: items, cost: cost}
 }
 
 func (e *perObject) Sync(send Sender) {

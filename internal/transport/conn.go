@@ -11,6 +11,17 @@ import (
 	"crdtsync/internal/protocol"
 )
 
+// DialFunc establishes the outbound connection to one peer: id is the
+// peer's identifier, addr its listen address. Fault-injection harnesses
+// wrap the default TCP dialer through StoreConfig.Dial to drop, duplicate
+// or delay frames at the connection layer.
+type DialFunc func(id, addr string) (net.Conn, error)
+
+// defaultDial is the production dialer: plain TCP with a bounded timeout.
+func defaultDial(_, addr string) (net.Conn, error) {
+	return net.DialTimeout("tcp", addr, 2*time.Second)
+}
+
 // peerNet owns the connection plumbing shared by Node and Store: the
 // listener, outbound connections (dialed lazily, dropped on write error),
 // accepted inbound connections, and the accept/read loops that decode
@@ -19,6 +30,7 @@ import (
 type peerNet struct {
 	id       string
 	peers    map[string]string
+	dial     DialFunc
 	ln       net.Listener
 	mu       sync.Mutex // guards conns and accepted
 	conns    map[string]net.Conn
@@ -28,10 +40,14 @@ type peerNet struct {
 	wg       sync.WaitGroup
 }
 
-func newPeerNet(id string, peers map[string]string, ln net.Listener) *peerNet {
+func newPeerNet(id string, peers map[string]string, ln net.Listener, dial DialFunc) *peerNet {
+	if dial == nil {
+		dial = defaultDial
+	}
 	return &peerNet{
 		id:       id,
 		peers:    peers,
+		dial:     dial,
 		ln:       ln,
 		conns:    make(map[string]net.Conn),
 		accepted: make(map[net.Conn]struct{}),
@@ -86,7 +102,7 @@ func (p *peerNet) dialLocked(to string) (net.Conn, error) {
 	if !ok {
 		return nil, fmt.Errorf("transport: unknown peer %s", to)
 	}
-	c, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	c, err := p.dial(to, addr)
 	if err != nil {
 		return nil, err
 	}

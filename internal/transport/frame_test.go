@@ -65,7 +65,7 @@ func TestReadFrameBadSenderLength(t *testing.T) {
 func TestTransmitToUnknownPeerIsDropped(t *testing.T) {
 	// Transmitting to a peer id that is not configured must fail cleanly
 	// rather than panicking or blocking; Node and Store drop the frame.
-	p := newPeerNet("a", map[string]string{}, nil)
+	p := newPeerNet("a", map[string]string{}, nil, nil)
 	if _, err := p.dialLocked("stranger"); err == nil {
 		t.Error("dial of unknown peer should fail")
 	}

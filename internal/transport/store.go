@@ -1,11 +1,13 @@
 package transport
 
 import (
+	"encoding/binary"
 	"fmt"
 	"hash/fnv"
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"crdtsync/internal/codec"
@@ -23,6 +25,10 @@ type StoreConfig struct {
 	ListenAddr string
 	// Listener, when non-nil, is used instead of binding ListenAddr.
 	Listener net.Listener
+	// Dial, when non-nil, replaces the default TCP dialer for outbound
+	// connections; fault-injection harnesses wrap it to drop, duplicate
+	// or delay frames.
+	Dial DialFunc
 	// Peers maps neighbor ids to their listen addresses.
 	Peers map[string]string
 	// Nodes is the full membership (sorted); defaults to ID + peers.
@@ -38,46 +44,119 @@ type StoreConfig struct {
 	ObjType func(key string) workload.Datatype
 	// SyncEvery is the synchronization period (default 1s).
 	SyncEvery time.Duration
+	// DigestEvery enables digest anti-entropy: every DigestEvery-th sync
+	// tick the store also ships its per-shard digest vector to every
+	// peer; a peer whose digests differ requests those shards in full.
+	// This repairs divergence the inner engines cannot see (lost frames
+	// under clear-after-send engines, healed partitions) at a
+	// near-constant per-tick cost of 8 bytes per shard once converged.
+	// 0 disables digests (delta traffic only).
+	DigestEvery int
+	// MaxFrameBytes caps the encoded size of one data frame; a sync tick
+	// whose batch exceeds it is split into multiple frames. 0 or
+	// anything above the transport-wide maximum means the 64 MiB
+	// transport cap. Tests lower it to exercise splitting cheaply.
+	MaxFrameBytes int
 }
 
 // StoreStats counts what a store has put on the wire.
 type StoreStats struct {
-	// Frames is the number of TCP frames written.
+	// Frames is the number of TCP frames written (data and digests).
 	Frames int
 	// WireBytes is the total bytes written, including frame headers.
 	WireBytes int
+	// DigestFrames counts the digest advertisement and request frames
+	// within Frames; the rest carry data.
+	DigestFrames int
+	// SplitFrames counts the frames that are pieces of a split batch:
+	// a tick whose batch overflowed the cap and went out as k bounded
+	// frames adds k here (0 when every batch fit in one frame).
+	SplitFrames int
+	// OversizedDropped counts irreducible messages larger than the frame
+	// cap that had to be dropped (a single object's state exceeding
+	// MaxFrameBytes). With digest anti-entropy enabled, a steadily
+	// growing value means an unshippable object is permanently blocking
+	// its shard's convergence — peers will keep requesting the shard
+	// every heartbeat; raise MaxFrameBytes or shrink the object.
+	OversizedDropped int
+	// WantShards counts shards this store requested from peers after a
+	// digest mismatch (observed divergence).
+	WantShards int
+	// RepairShards counts full shards this store served to peers that
+	// requested them.
+	RepairShards int
 	// Sent is the aggregated protocol-level transmission accounting.
 	Sent metrics.Transmission
+}
+
+// Add accumulates another snapshot into s, field by field; benchmarks and
+// examples use it to aggregate cluster-wide totals without hand-summing
+// (and silently missing) fields.
+func (s *StoreStats) Add(o StoreStats) {
+	s.Frames += o.Frames
+	s.WireBytes += o.WireBytes
+	s.DigestFrames += o.DigestFrames
+	s.SplitFrames += o.SplitFrames
+	s.OversizedDropped += o.OversizedDropped
+	s.WantShards += o.WantShards
+	s.RepairShards += o.RepairShards
+	s.Sent.Add(o.Sent)
 }
 
 // shard is one lock domain: a per-object engine (a keyspace partition)
 // plus the mutex that serializes access to it. Updates and syncs on keys
 // hashing to different shards never contend.
+//
+// dirty and the digest cache are read without the mutex (atomically), so
+// the sync loop and digest heartbeat skip clean shards without taking
+// their locks; both are only written while holding mu, which keeps the
+// flags coherent with the engine state they describe.
 type shard struct {
 	mu     sync.Mutex
 	engine protocol.KeyedEngine
+	// dirty marks a shard that needs a Sync visit: touched by a local
+	// update or an inbound delivery since its last visit, or still
+	// emitting (e.g. unacked retransmissions) on that visit.
+	dirty atomic.Bool
+	// digest caches this shard's content digest; valid while digestOK.
+	// Any mutation (LocalOp, Deliver) invalidates it.
+	digest   atomic.Uint64
+	digestOK atomic.Bool
+}
+
+// markDirty flags the shard for the next sync visit and invalidates its
+// digest cache; callers hold sh.mu having just mutated the engine.
+func (sh *shard) markDirty() {
+	sh.dirty.Store(true)
+	sh.digestOK.Store(false)
 }
 
 // Store is a live replica of a sharded multi-object keyspace: N shards,
 // each holding a map of named CRDT objects with its own engine instance,
 // mutex, and δ-buffers. Keys are routed to shards by hash; per-shard
-// outgoing deltas are coalesced into one batched frame per neighbor on
-// each sync tick, so a tick costs one TCP frame per peer regardless of
-// how many objects changed.
+// outgoing deltas are coalesced into bounded batched frames per neighbor
+// on each sync tick. A per-shard dirty bitmap makes the steady-state tick
+// O(dirty shards), not O(shards): clean shards are skipped without taking
+// their locks. With DigestEvery set, replicas additionally exchange
+// per-shard digest vectors and pull full shards only on mismatch, so even
+// divergence invisible to the inner engines is repaired while a converged
+// idle cluster exchanges only constant-size heartbeats.
 //
 // Store generalizes Node (one engine, one object, one mutex) to the
 // deployment model of the paper's Retwis evaluation: many independent
 // objects, each with its own δ-buffer, synchronized together.
 type Store struct {
-	cfg      StoreConfig
-	net      *peerNet
-	shards   []*shard
-	mask     uint32
-	statsMu  sync.Mutex
-	stats    StoreStats
-	stopping chan struct{}
-	stopOnce sync.Once
-	wg       sync.WaitGroup // syncLoop
+	cfg       StoreConfig
+	net       *peerNet
+	shards    []*shard
+	mask      uint32
+	neighbors []string // sorted peer ids
+	ticks     atomic.Uint64
+	statsMu   sync.Mutex
+	stats     StoreStats
+	stopping  chan struct{}
+	stopOnce  sync.Once
+	wg        sync.WaitGroup // syncLoop + reply flushes
 }
 
 // nextPow2 rounds n up to the next power of two (minimum 1).
@@ -102,6 +181,9 @@ func StartStore(cfg StoreConfig) (*Store, error) {
 		cfg.Shards = 16
 	}
 	cfg.Shards = nextPow2(cfg.Shards)
+	if cfg.MaxFrameBytes <= 0 || cfg.MaxFrameBytes > maxFrameBytes {
+		cfg.MaxFrameBytes = maxFrameBytes
+	}
 	neighbors := make([]string, 0, len(cfg.Peers))
 	for id := range cfg.Peers {
 		neighbors = append(neighbors, id)
@@ -135,11 +217,12 @@ func StartStore(cfg StoreConfig) (*Store, error) {
 		}
 	}
 	s := &Store{
-		cfg:      cfg,
-		net:      newPeerNet(cfg.ID, cfg.Peers, ln),
-		shards:   shards,
-		mask:     uint32(cfg.Shards - 1),
-		stopping: make(chan struct{}),
+		cfg:       cfg,
+		net:       newPeerNet(cfg.ID, cfg.Peers, ln, cfg.Dial),
+		shards:    shards,
+		mask:      uint32(cfg.Shards - 1),
+		neighbors: neighbors,
+		stopping:  make(chan struct{}),
 	}
 	s.net.start(s.deliver)
 	s.wg.Add(1)
@@ -180,6 +263,7 @@ func (s *Store) Update(op workload.Op) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	sh.engine.LocalOp(op)
+	sh.markDirty()
 }
 
 // Get returns a snapshot of one object's state, or nil if the key is
@@ -218,20 +302,47 @@ func (s *Store) Keys() []string {
 	return all
 }
 
-// Digest hashes every object's key and canonical encoding into one
-// 64-bit value. Two stores with the same shard count that hold the same
-// keyspace in the same states produce equal digests, making convergence
-// checks O(state) without shipping states around. (The codec is
-// canonical: equal states encode to equal bytes.)
+// shardDigest returns one shard's content digest, from the cache when the
+// shard has not been mutated since the last computation — the common case
+// on an idle keyspace, served without taking the shard lock.
+func (s *Store) shardDigest(sh *shard) uint64 {
+	if sh.digestOK.Load() {
+		return sh.digest.Load()
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	h := fnv.New64a()
+	for _, k := range sh.engine.Keys() {
+		h.Write([]byte(k))
+		h.Write(codec.Encode(sh.engine.ObjectState(k)))
+	}
+	d := h.Sum64()
+	sh.digest.Store(d)
+	sh.digestOK.Store(true)
+	return d
+}
+
+// shardDigests returns the per-shard digest vector.
+func (s *Store) shardDigests() []uint64 {
+	vec := make([]uint64, len(s.shards))
+	for i, sh := range s.shards {
+		vec[i] = s.shardDigest(sh)
+	}
+	return vec
+}
+
+// Digest combines the per-shard digests into one 64-bit value. Two stores
+// with the same shard count that hold the same keyspace in the same
+// states produce equal digests, making convergence checks O(state)
+// without shipping states around — and O(1) on idle stores, since clean
+// shards serve their digests from cache. (The codec is canonical: equal
+// states encode to equal bytes.)
 func (s *Store) Digest() uint64 {
 	h := fnv.New64a()
+	var word [8]byte
 	for _, sh := range s.shards {
-		sh.mu.Lock()
-		for _, k := range sh.engine.Keys() {
-			h.Write([]byte(k))
-			h.Write(codec.Encode(sh.engine.ObjectState(k)))
-		}
-		sh.mu.Unlock()
+		binary.BigEndian.PutUint64(word[:], s.shardDigest(sh))
+		h.Write(word[:])
 	}
 	return h.Sum64()
 }
@@ -277,72 +388,166 @@ func (b *outBatch) sender(shardIdx uint32) protocol.Sender {
 	}
 }
 
-// SyncNow runs one synchronization step on every shard and flushes one
-// coalesced frame per destination.
+// SyncNow runs one synchronization step over the dirty shards and flushes
+// the coalesced frames. Clean shards — the steady state of an idle
+// keyspace — are skipped without taking their locks, so the tick is
+// O(dirty shards) plus, every DigestEvery ticks, one digest frame per
+// peer.
 func (s *Store) SyncNow() {
 	b := newOutBatch()
 	for i, sh := range s.shards {
+		if !sh.dirty.Load() {
+			continue
+		}
 		sh.mu.Lock()
-		sh.engine.Sync(b.sender(uint32(i)))
+		sh.dirty.Store(false)
+		emitted := false
+		send := b.sender(uint32(i))
+		sh.engine.Sync(func(to string, m protocol.Msg) {
+			emitted = true
+			send(to, m)
+		})
+		if emitted {
+			// The engine may need to emit again (unacked
+			// retransmissions, Scuttlebutt digests): revisit next tick.
+			sh.dirty.Store(true)
+		}
 		sh.mu.Unlock()
 	}
 	s.flush(b)
+	if every := uint64(s.cfg.DigestEvery); every > 0 && s.ticks.Add(1)%every == 0 {
+		s.broadcastDigests()
+	}
 }
 
-// flush encodes one ShardedMsg per destination and transmits it.
-// Callers must not hold any shard lock: a slow peer can then never block
-// updates or inbound handling on other connections.
+// broadcastDigests ships the per-shard digest vector to every peer: the
+// anti-entropy heartbeat. On a converged cluster this is the only
+// steady-state traffic.
+func (s *Store) broadcastDigests() {
+	vec := s.shardDigests()
+	m := protocol.NewDigestMsg(vec, nil, protocol.DigestCost(vec, nil))
+	data, err := codec.EncodeMsg(m)
+	if err != nil {
+		panic(err)
+	}
+	for _, to := range s.neighbors {
+		s.transmit(to, data, m.Cost(), true)
+	}
+}
+
+// flush encodes the accumulated items into bounded frames per destination
+// and transmits them. Callers must not hold any shard lock: a slow peer
+// can then never block updates or inbound handling on other connections.
 func (s *Store) flush(b *outBatch) {
 	for _, to := range b.order {
-		m := protocol.NewShardedMsg(b.perDest[to])
-		data, err := codec.EncodeMsg(m)
-		if err != nil {
-			// Engines produced an unencodable message: a programming
-			// error in the engine/codec pairing.
-			panic(err)
-		}
-		s.transmit(to, data, m.Cost())
+		s.sendSharded(to, b.perDest[to], false)
 	}
+}
+
+// maxMsgBytes is the largest encoded message that still fits one frame
+// under the configured cap once the frame header (2-byte sender length
+// plus the sender id; the 4-byte length prefix is not counted against the
+// cap by receivers) is accounted for.
+func (s *Store) maxMsgBytes() int {
+	return s.cfg.MaxFrameBytes - 2 - len(s.cfg.ID)
+}
+
+// sendSharded transmits items as one ShardedMsg frame, splitting the
+// batch recursively when its encoding exceeds the frame cap: first across
+// shard items, then inside a single shard's key batch. Receivers reject
+// frames above the cap outright, so without splitting an oversized tick
+// would be silently lost; split is set on recursive calls to count the
+// extra frames. An irreducible oversized message (a single object larger
+// than the cap) is dropped and counted: shipping it could never succeed.
+func (s *Store) sendSharded(to string, items []protocol.ShardItem, split bool) {
+	if len(items) == 0 {
+		return
+	}
+	m := protocol.NewShardedMsg(items)
+	data, err := codec.EncodeMsg(m)
+	if err != nil {
+		// Engines produced an unencodable message: a programming error
+		// in the engine/codec pairing.
+		panic(err)
+	}
+	if len(data) <= s.maxMsgBytes() {
+		if split {
+			s.statsMu.Lock()
+			s.stats.SplitFrames++
+			s.statsMu.Unlock()
+		}
+		s.transmit(to, data, m.Cost(), false)
+		return
+	}
+	if len(items) > 1 {
+		mid := len(items) / 2
+		s.sendSharded(to, items[:mid], true)
+		s.sendSharded(to, items[mid:], true)
+		return
+	}
+	// One shard's message alone exceeds the cap: split within its batch.
+	if bm, ok := items[0].Msg.(*protocol.BatchMsg); ok && len(bm.Items) > 1 {
+		mid := len(bm.Items) / 2
+		for _, half := range [][]protocol.ObjectMsg{bm.Items[:mid], bm.Items[mid:]} {
+			s.sendSharded(to, []protocol.ShardItem{
+				{Shard: items[0].Shard, Msg: protocol.BatchOf(half)},
+			}, true)
+		}
+		return
+	}
+	s.statsMu.Lock()
+	s.stats.OversizedDropped++
+	s.statsMu.Unlock()
 }
 
 // transmit writes one frame and records wire stats on success. A send
 // failure drops the frame: a neighbor that is down catches up on a later
 // tick when the inner engines resend (acked engines retransmit until
-// acknowledged; plain delta-based assumes reliable channels, so pair it
-// with this transport only where TCP-level loss is acceptable).
-func (s *Store) transmit(to string, data []byte, cost metrics.Transmission) {
+// acknowledged) or when digest anti-entropy observes the divergence; pair
+// plain delta-based without digests with this transport only where
+// TCP-level loss is acceptable.
+func (s *Store) transmit(to string, data []byte, cost metrics.Transmission, digest bool) {
 	if err := s.net.transmit(to, data); err != nil {
-		return // neighbor down or unknown; inner engines resend
+		return // neighbor down or unknown; repaired on a later tick
 	}
 	s.statsMu.Lock()
 	s.stats.Frames++
 	s.stats.WireBytes += 4 + 2 + len(s.cfg.ID) + len(data)
+	if digest {
+		s.stats.DigestFrames++
+	}
 	s.stats.Sent.Add(cost)
 	s.statsMu.Unlock()
 }
 
-// deliver routes one inbound frame's items to their shards, coalescing
-// any replies (acks, Scuttlebutt pulls) the same way syncs are. Replies
-// are flushed on their own goroutine: the read goroutine must never block
-// on an outbound TCP write, or two nodes with mutually full send buffers
-// would stop draining their sockets and deadlock each other.
+// deliver routes one inbound frame to its handler: sharded data frames to
+// their shards (coalescing any replies — acks, Scuttlebutt pulls — the
+// same way syncs are), digest frames to the anti-entropy comparison.
+// Replies are flushed on their own goroutine: the read goroutine must
+// never block on an outbound TCP write, or two nodes with mutually full
+// send buffers would stop draining their sockets and deadlock each other.
 func (s *Store) deliver(from string, msg protocol.Msg) {
-	sm, ok := msg.(*protocol.ShardedMsg)
-	if !ok {
-		return // stores speak only sharded frames; ignore others
-	}
 	b := newOutBatch()
-	for _, it := range sm.Items {
-		idx := int(it.Shard)
-		if idx >= len(s.shards) {
-			continue // shard-count mismatch; drop the item
+	var reply *protocol.DigestMsg
+	switch m := msg.(type) {
+	case *protocol.ShardedMsg:
+		for _, it := range m.Items {
+			idx := int(it.Shard)
+			if idx >= len(s.shards) {
+				continue // shard-count mismatch; drop the item
+			}
+			sh := s.shards[idx]
+			sh.mu.Lock()
+			sh.engine.Deliver(from, it.Msg, b.sender(it.Shard))
+			sh.markDirty()
+			sh.mu.Unlock()
 		}
-		sh := s.shards[idx]
-		sh.mu.Lock()
-		sh.engine.Deliver(from, it.Msg, b.sender(it.Shard))
-		sh.mu.Unlock()
+	case *protocol.DigestMsg:
+		reply = s.handleDigest(from, m, b)
+	default:
+		return // stores speak only sharded and digest frames
 	}
-	if len(b.order) == 0 {
+	if len(b.order) == 0 && reply == nil {
 		return
 	}
 	// Deliver runs on a peerNet read goroutine, all of which finish
@@ -350,8 +555,89 @@ func (s *Store) deliver(from string, msg protocol.Msg) {
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
+		if reply != nil {
+			data, err := codec.EncodeMsg(reply)
+			if err != nil {
+				panic(err)
+			}
+			s.transmit(from, data, reply.Cost(), true)
+		}
 		s.flush(b)
 	}()
+}
+
+// handleDigest serves a peer's shard requests into b and compares a
+// peer's digest advertisement against the local shards, returning the
+// request for whichever differ (nil when none do — the converged case).
+func (s *Store) handleDigest(from string, m *protocol.DigestMsg, b *outBatch) *protocol.DigestMsg {
+	served := 0
+	// Sized by the shard count, never by the attacker-controlled request
+	// length: a hostile Want list of millions of duplicate indices must
+	// not amplify into allocation.
+	seen := make([]bool, len(s.shards))
+	for _, idx := range m.Want {
+		if int(idx) >= len(s.shards) || seen[idx] {
+			continue // hostile or stale request; serve each shard once
+		}
+		seen[idx] = true
+		if batch, ok := s.fullShardBatch(idx); ok {
+			b.sender(idx)(from, batch)
+			served++
+		}
+	}
+	if served > 0 {
+		s.statsMu.Lock()
+		s.stats.RepairShards += served
+		s.statsMu.Unlock()
+	}
+	if len(m.Digests) == 0 {
+		return nil
+	}
+	if len(m.Digests) != len(s.shards) {
+		return nil // shard-count mismatch: digests are not comparable
+	}
+	var want []uint32
+	for i, sh := range s.shards {
+		if s.shardDigest(sh) != m.Digests[i] {
+			want = append(want, uint32(i))
+		}
+	}
+	if len(want) == 0 {
+		return nil
+	}
+	s.statsMu.Lock()
+	s.stats.WantShards += len(want)
+	s.statsMu.Unlock()
+	return protocol.NewDigestMsg(nil, want, protocol.DigestCost(nil, want))
+}
+
+// fullShardBatch builds one shard's full contents as a BatchMsg of
+// per-key δ-groups carrying whole object states. A full state is a valid
+// δ-group, so the receiver merges it through the ordinary per-object
+// delivery path (RR extracts exactly the missing part) and propagates
+// anything new onwards. States are cloned under the shard lock: the
+// message outlives it.
+func (s *Store) fullShardBatch(idx uint32) (protocol.Msg, bool) {
+	sh := s.shards[idx]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	keys := sh.engine.Keys()
+	if len(keys) == 0 {
+		return nil, false
+	}
+	items := make([]protocol.ObjectMsg, 0, len(keys))
+	for _, k := range keys {
+		st := sh.engine.ObjectState(k).Clone()
+		items = append(items, protocol.ObjectMsg{
+			Key: k,
+			Inner: protocol.NewDeltaMsg(st, metrics.Transmission{
+				Messages:     1,
+				Elements:     st.Elements(),
+				PayloadBytes: st.SizeBytes(),
+			}),
+		})
+	}
+	return protocol.BatchOf(items), true
 }
 
 func (s *Store) syncLoop() {

@@ -29,6 +29,8 @@ func main() {
 	syncEvery := flag.Duration("sync-every", 100*time.Millisecond, "store experiment: synchronization period")
 	engine := flag.String("engine", "acked", "store experiment: inner protocol (acked or delta)")
 	digestEvery := flag.Int("digest-every", 4, "store experiment: ship per-shard digests every N ticks (0 disables digest anti-entropy)")
+	faultDrop := flag.Float64("fault-drop", 0, "store experiment: drop this fraction of frames on every link (0 disables fault injection)")
+	peerQueue := flag.Int("peer-queue", 0, "store experiment: per-peer outbound frame queue length (0 = default)")
 	flag.Parse()
 
 	if *list {
@@ -48,12 +50,15 @@ func main() {
 
 	if *expID == "store" {
 		runStoreBench(storeBenchConfig{
-			Keys:        *keys,
-			Nodes:       *nodeCount,
-			Shards:      *shards,
-			SyncEvery:   *syncEvery,
-			Engine:      *engine,
-			DigestEvery: *digestEvery,
+			Keys:         *keys,
+			Nodes:        *nodeCount,
+			Shards:       *shards,
+			SyncEvery:    *syncEvery,
+			Engine:       *engine,
+			DigestEvery:  *digestEvery,
+			FaultDrop:    *faultDrop,
+			PeerQueueLen: *peerQueue,
+			Seed:         *seed,
 		})
 		return
 	}

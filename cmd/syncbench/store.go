@@ -30,6 +30,16 @@ type storeBenchConfig struct {
 	// DigestEvery ships per-shard digest vectors every N ticks so peers
 	// pull diverged shards in full; 0 disables digest anti-entropy.
 	DigestEvery int
+	// FaultDrop, when nonzero, wires a shared transport.Fault injector
+	// into every store's dialer that drops this fraction of frames on
+	// every link, so the benchmark measures the bytes+ticks cost of
+	// converging under loss (acked retransmissions and digest repairs).
+	FaultDrop float64
+	// PeerQueueLen sets each replica's per-peer outbound queue length
+	// (0 = transport default).
+	PeerQueueLen int
+	// Seed seeds the fault injector's frame-fate sequence.
+	Seed int64
 }
 
 // runStoreBench drives the benchmark and prints a throughput /
@@ -52,14 +62,21 @@ func runStoreBench(cfg storeBenchConfig) {
 		fmt.Fprintf(os.Stderr, "unknown engine %q (want acked or delta)\n", cfg.Engine)
 		os.Exit(2)
 	}
-	stores, err := transport.LoopbackCluster(cfg.Nodes, transport.StoreConfig{
-		ID:          "store",
-		Shards:      cfg.Shards,
-		Factory:     factory,
-		ObjType:     func(string) workload.Datatype { return workload.GCounterType{} },
-		SyncEvery:   cfg.SyncEvery,
-		DigestEvery: cfg.DigestEvery,
-	})
+	template := transport.StoreConfig{
+		ID:           "store",
+		Shards:       cfg.Shards,
+		Factory:      factory,
+		ObjType:      func(string) workload.Datatype { return workload.GCounterType{} },
+		SyncEvery:    cfg.SyncEvery,
+		DigestEvery:  cfg.DigestEvery,
+		PeerQueueLen: cfg.PeerQueueLen,
+	}
+	if cfg.FaultDrop > 0 {
+		fault := transport.NewFault(cfg.Seed)
+		fault.SetDropRate(cfg.FaultDrop)
+		template.Dial = fault.Dialer(nil)
+	}
+	stores, err := transport.LoopbackCluster(cfg.Nodes, template)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -73,6 +90,9 @@ func runStoreBench(cfg storeBenchConfig) {
 	fmt.Printf("engine: %s\n", engineDesc)
 	if cfg.DigestEvery > 0 {
 		fmt.Printf("anti-entropy: per-shard digests every %d ticks\n", cfg.DigestEvery)
+	}
+	if cfg.FaultDrop > 0 {
+		fmt.Printf("fault injection: dropping %.0f%% of frames on every link\n", cfg.FaultDrop*100)
 	}
 
 	// Phase 1: load. Each store increments a disjoint slice of the
@@ -103,11 +123,14 @@ func runStoreBench(cfg storeBenchConfig) {
 	syncDur := time.Since(syncStart)
 
 	var total transport.StoreStats
+	var ticks uint64
 	for _, st := range stores {
 		total.Add(st.Stats())
+		ticks += st.Ticks()
 	}
-	fmt.Printf("converged: %d keys on every replica in %s (digest %x)\n",
-		cfg.Keys, syncDur.Round(time.Millisecond), stores[0].Digest())
+	fmt.Printf("converged: %d keys on every replica in %s (digest %x, %.0f sync ticks/node)\n",
+		cfg.Keys, syncDur.Round(time.Millisecond), stores[0].Digest(),
+		float64(ticks)/float64(cfg.Nodes))
 	fmt.Printf("wire: %d frames, %s on the wire (%s payload, %s sync metadata), %d elements shipped\n",
 		total.Frames, fmtBytes(total.WireBytes),
 		fmtBytes(total.Sent.PayloadBytes), fmtBytes(total.Sent.MetadataBytes),
@@ -122,6 +145,14 @@ func runStoreBench(cfg storeBenchConfig) {
 			float64(total.Sent.Elements)/float64(total.Frames),
 			float64(total.Frames)/float64(cfg.Nodes))
 	}
+	var enq, dropped, reconnects int
+	for _, ps := range total.Peers {
+		enq += ps.Enqueued
+		dropped += ps.Dropped
+		reconnects += ps.Reconnects
+	}
+	fmt.Printf("pipeline: %d frames enqueued, %d dropped (queue overflow / failed sends), %d reconnects\n",
+		enq, dropped, reconnects)
 	mem := metrics.Memory{}
 	for _, st := range stores {
 		m := st.Memory()

@@ -34,6 +34,7 @@ func main() {
 	shards := flag.Int("shards", 64, "shards per replica")
 	syncEvery := flag.Duration("sync-every", 100*time.Millisecond, "synchronization period")
 	digestEvery := flag.Int("digest-every", 4, "digest heartbeat period in ticks (0 disables)")
+	peerQueue := flag.Int("peer-queue", 0, "per-peer outbound frame queue length (0 = default)")
 	flag.Parse()
 
 	stores, err := transport.LoopbackCluster(*nodes, transport.StoreConfig{
@@ -45,6 +46,10 @@ func main() {
 		ObjType:     func(string) workload.Datatype { return workload.GCounterType{} },
 		SyncEvery:   *syncEvery,
 		DigestEvery: *digestEvery,
+		// Each peer gets its own bounded write queue and writer
+		// goroutine, so one slow replica can never stall frames to the
+		// healthy ones.
+		PeerQueueLen: *peerQueue,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -81,17 +86,24 @@ func main() {
 		log.Fatal(err)
 	}
 
-	var frames, wireBytes, elements int
+	var frames, wireBytes, elements, enqueued, dropped, reconnects int
 	for _, st := range stores {
 		s := st.Stats()
 		frames += s.Frames
 		wireBytes += s.WireBytes
 		elements += s.Sent.Elements
+		for _, ps := range s.Peers {
+			enqueued += ps.Enqueued
+			dropped += ps.Dropped
+			reconnects += ps.Reconnects
+		}
 	}
 	fmt.Printf("\nconverged in %s: every replica holds all %d keys (digest %x)\n",
 		time.Since(start).Round(time.Millisecond), *keys, stores[0].Digest())
 	fmt.Printf("wire: %d batched frames, %.1f MiB total, %.0f keys/frame average\n",
 		frames, float64(wireBytes)/(1<<20), float64(elements)/float64(frames))
+	fmt.Printf("pipeline: %d frames enqueued, %d dropped, %d reconnects\n",
+		enqueued, dropped, reconnects)
 
 	// Steady state: with every shard clean, ticks cost only the digest
 	// heartbeat (8 bytes per shard per peer, every digest-every ticks).

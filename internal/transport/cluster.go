@@ -13,6 +13,14 @@ import (
 // Benchmarks, examples and tests share this bootstrap. On error, stores
 // already started are closed.
 func LoopbackCluster(n int, template StoreConfig) ([]*Store, error) {
+	return LoopbackClusterWith(n, template, nil)
+}
+
+// LoopbackClusterWith is LoopbackCluster with a per-store hook: customize
+// (when non-nil) runs on each store's finished config just before
+// StartStore, with the listener already bound — fault harnesses use it to
+// wrap Dial or Listener and to vary queue lengths per store.
+func LoopbackClusterWith(n int, template StoreConfig, customize func(i int, id string, cfg *StoreConfig)) ([]*Store, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("transport: cluster needs at least 1 store")
 	}
@@ -49,6 +57,9 @@ func LoopbackCluster(n int, template StoreConfig) ([]*Store, error) {
 		cfg.ListenAddr = ""
 		cfg.Peers = peers
 		cfg.Nodes = ids
+		if customize != nil {
+			customize(i, ids[i], &cfg)
+		}
 		st, err := StartStore(cfg)
 		if err != nil {
 			for j := 0; j < i; j++ {
@@ -95,9 +106,18 @@ func WaitConverged(stores []*Store, wantKeys int, timeout time.Duration, progres
 			return nil
 		}
 		if time.Now().After(deadline) {
+			// A sick write pipeline is the usual culprit, so the failure
+			// names each store's queued/dropped frame totals alongside
+			// its digest.
 			msg := "transport: cluster did not converge:"
 			for _, st := range stores {
-				msg += fmt.Sprintf(" %s[keys=%d digest=%x]", st.ID(), st.NumKeys(), st.Digest())
+				queued, dropped := 0, 0
+				for _, ps := range st.Stats().Peers {
+					queued += ps.Queued
+					dropped += ps.Dropped
+				}
+				msg += fmt.Sprintf(" %s[keys=%d digest=%x queued=%d dropped=%d]",
+					st.ID(), st.NumKeys(), st.Digest(), queued, dropped)
 			}
 			return fmt.Errorf("%s", msg)
 		}

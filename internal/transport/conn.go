@@ -22,44 +22,305 @@ func defaultDial(_, addr string) (net.Conn, error) {
 	return net.DialTimeout("tcp", addr, 2*time.Second)
 }
 
-// peerNet owns the connection plumbing shared by Node and Store: the
-// listener, outbound connections (dialed lazily, dropped on write error),
-// accepted inbound connections, and the accept/read loops that decode
-// frames into protocol messages. Owners supply a deliver callback and keep
-// their own synchronization loops.
-type peerNet struct {
-	id       string
-	peers    map[string]string
-	dial     DialFunc
-	ln       net.Listener
-	mu       sync.Mutex // guards conns and accepted
-	conns    map[string]net.Conn
-	accepted map[net.Conn]struct{}
-	stopping chan struct{}
-	stopOnce sync.Once
-	wg       sync.WaitGroup
+// Write-pipeline tuning. reconnectBase/reconnectMax bound the capped
+// exponential backoff between connection attempts to a down peer;
+// drainTimeout bounds how long close waits for the per-peer queues to
+// flush before force-closing connections and abandoning what remains.
+const (
+	defaultPeerQueueLen = 128
+	reconnectBase       = 10 * time.Millisecond
+	reconnectMax        = 2 * time.Second
+	drainTimeout        = time.Second
+)
+
+// Per-peer pipeline connection states, reported by PeerStats.State.
+const (
+	// PeerConnecting: no usable connection yet — either nothing has been
+	// sent to this peer or a dial is in progress.
+	PeerConnecting = "connecting"
+	// PeerUp: the last dial succeeded and no write has failed since.
+	PeerUp = "up"
+	// PeerBackoff: the last dial or write failed; the writer is waiting
+	// out the capped exponential backoff before the next attempt.
+	PeerBackoff = "backoff"
+)
+
+// PeerStats counts one outbound peer pipeline's work. Counters are
+// cumulative since the store started; State and Queued are a snapshot.
+type PeerStats struct {
+	// Enqueued counts frames accepted into this peer's bounded queue.
+	Enqueued int
+	// Dropped counts frames lost on the way to this peer: evicted by the
+	// drop-oldest overflow policy while the queue was full, or abandoned
+	// after a failed connection attempt or write error. Acked engines
+	// retransmit the lost deltas and digest anti-entropy repairs the
+	// rest; under the plain delta engine with digests disabled these
+	// frames are gone for good.
+	Dropped int
+	// Reconnects counts successful connection establishments after a
+	// failure (the first connect is not a reconnect).
+	Reconnects int
+	// State is the pipeline's connection state: PeerUp, PeerConnecting
+	// or PeerBackoff. Cleared by StoreStats.Add — states from different
+	// stores are not additive.
+	State string
+	// Queued is the queue depth at snapshot time.
+	Queued int
 }
 
-func newPeerNet(id string, peers map[string]string, ln net.Listener, dial DialFunc) *peerNet {
+// peerConn is one peer's outbound pipeline: a bounded frame queue feeding
+// a dedicated writer goroutine that owns the connection, dials it lazily,
+// and re-establishes it with capped exponential backoff after failures.
+// transmit is a non-blocking enqueue, so a stalled or dead peer can never
+// delay frames to healthy peers; when the queue overflows the oldest
+// frame is evicted (newest data wins — it subsumes what an eventual
+// digest repair would reship anyway).
+type peerConn struct {
+	id   string
+	addr string
+	p    *peerNet
+
+	mu         sync.Mutex
+	cond       *sync.Cond // signals queue growth and drain start
+	queue      [][]byte
+	qcap       int
+	closed     bool // no further enqueues; writer exits once drained
+	conn       net.Conn
+	state      string
+	backoff    time.Duration
+	hadFailure bool // a dial/write failed since the last success
+	stats      PeerStats
+}
+
+// enqueue appends one frame, evicting the oldest queued frame when the
+// queue is full. It never blocks: overflow is data loss for the engines
+// or digest anti-entropy to repair, not backpressure onto the sync tick.
+func (pc *peerConn) enqueue(data []byte) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if pc.closed {
+		return
+	}
+	pc.stats.Enqueued++
+	if len(pc.queue) >= pc.qcap {
+		pc.queue[0] = nil
+		pc.queue = pc.queue[1:]
+		pc.stats.Dropped++
+	}
+	pc.queue = append(pc.queue, data)
+	pc.cond.Signal()
+}
+
+// run is the writer goroutine: it drains the queue one frame at a time
+// until the pipeline is closed and empty, or hard-stopped.
+func (pc *peerConn) run() {
+	defer pc.p.writers.Done()
+	for {
+		frame, ok := pc.next()
+		if !ok {
+			pc.mu.Lock()
+			if pc.conn != nil {
+				pc.conn.Close()
+				pc.conn = nil
+			}
+			pc.mu.Unlock()
+			return
+		}
+		pc.write(frame)
+	}
+}
+
+// next blocks until a frame is available or the pipeline is done.
+func (pc *peerConn) next() ([]byte, bool) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	for len(pc.queue) == 0 && !pc.closed {
+		pc.cond.Wait()
+	}
+	if len(pc.queue) == 0 || pc.hardStopped() {
+		return nil, false
+	}
+	f := pc.queue[0]
+	pc.queue[0] = nil
+	pc.queue = pc.queue[1:]
+	return f, true
+}
+
+func (pc *peerConn) hardStopped() bool {
+	select {
+	case <-pc.p.hardStop:
+		return true
+	default:
+		return false
+	}
+}
+
+// write ships one frame, establishing the connection if needed. A failed
+// dial or write drops the frame (counted per peer, same as overflow) and
+// backs off before the next attempt, so a down peer costs one queued
+// frame per attempt instead of wedging the writer on the oldest frame
+// while drop-oldest evicts everything newer behind it.
+func (pc *peerConn) write(frame []byte) {
+	conn := pc.ensureConn()
+	if conn == nil {
+		pc.dropFrame()
+		return
+	}
+	if err := writeFrame(conn, pc.p.id, frame); err != nil {
+		pc.disconnect(conn)
+		pc.dropFrame()
+		pc.sleepBackoff()
+		return
+	}
+	pc.markHealthy()
+}
+
+// markHealthy resets the backoff after a successful write — not after a
+// successful dial, or a peer whose listener accepts connections that then
+// fail every write would redial at the base interval forever and count a
+// "reconnect" per attempt.
+func (pc *peerConn) markHealthy() {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	pc.backoff = 0
+	if pc.hadFailure {
+		pc.stats.Reconnects++
+		pc.hadFailure = false
+	}
+}
+
+// ensureConn returns the live connection, dialing if there is none. On
+// dial failure it sleeps the backoff and returns nil.
+func (pc *peerConn) ensureConn() net.Conn {
+	pc.mu.Lock()
+	if pc.conn != nil {
+		c := pc.conn
+		pc.mu.Unlock()
+		return c
+	}
+	pc.state = PeerConnecting
+	pc.mu.Unlock()
+	c, err := pc.p.dial(pc.id, pc.addr)
+	if err != nil {
+		pc.sleepBackoff()
+		return nil
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if pc.hardStopped() {
+		c.Close()
+		return nil
+	}
+	pc.conn = c
+	pc.state = PeerUp
+	return c
+}
+
+// disconnect tears the connection down after a write error.
+func (pc *peerConn) disconnect(conn net.Conn) {
+	conn.Close()
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if pc.conn == conn {
+		pc.conn = nil
+	}
+}
+
+func (pc *peerConn) dropFrame() {
+	pc.mu.Lock()
+	pc.stats.Dropped++
+	pc.mu.Unlock()
+}
+
+// sleepBackoff waits out the capped exponential backoff after a failure,
+// returning early on hard stop. The queue keeps accepting (and, when
+// full, drop-oldest-evicting) frames throughout.
+func (pc *peerConn) sleepBackoff() {
+	pc.mu.Lock()
+	if pc.backoff == 0 {
+		pc.backoff = reconnectBase
+	} else if pc.backoff < reconnectMax {
+		pc.backoff *= 2
+		if pc.backoff > reconnectMax {
+			pc.backoff = reconnectMax
+		}
+	}
+	d := pc.backoff
+	pc.state = PeerBackoff
+	pc.hadFailure = true
+	pc.mu.Unlock()
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-pc.p.hardStop:
+	}
+}
+
+// snapshot returns the pipeline's counters plus current state and depth.
+func (pc *peerConn) snapshot() PeerStats {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	s := pc.stats
+	s.State = pc.state
+	s.Queued = len(pc.queue)
+	return s
+}
+
+// peerNet owns the connection plumbing shared by Node and Store: the
+// listener, one outbound write pipeline per peer, accepted inbound
+// connections, and the accept/read loops that decode frames into protocol
+// messages. Owners supply a deliver callback and keep their own
+// synchronization loops.
+type peerNet struct {
+	id       string
+	dial     DialFunc
+	ln       net.Listener
+	peers    map[string]*peerConn // fixed at construction, read-only after
+	mu       sync.Mutex           // guards accepted
+	accepted map[net.Conn]struct{}
+	stopping chan struct{}
+	hardStop chan struct{}
+	stopOnce sync.Once
+	hardOnce sync.Once
+	wg       sync.WaitGroup // accept + read loops
+	writers  sync.WaitGroup // peerConn writer goroutines
+}
+
+func newPeerNet(id string, peers map[string]string, ln net.Listener, dial DialFunc, queueLen int) *peerNet {
 	if dial == nil {
 		dial = defaultDial
 	}
-	return &peerNet{
+	if queueLen <= 0 {
+		queueLen = defaultPeerQueueLen
+	}
+	p := &peerNet{
 		id:       id,
-		peers:    peers,
 		dial:     dial,
 		ln:       ln,
-		conns:    make(map[string]net.Conn),
+		peers:    make(map[string]*peerConn, len(peers)),
 		accepted: make(map[net.Conn]struct{}),
 		stopping: make(chan struct{}),
+		hardStop: make(chan struct{}),
 	}
+	for pid, addr := range peers {
+		pc := &peerConn{id: pid, addr: addr, p: p, qcap: queueLen, state: PeerConnecting}
+		pc.cond = sync.NewCond(&pc.mu)
+		p.peers[pid] = pc
+	}
+	return p
 }
 
-// start launches the accept loop; deliver runs for every decoded inbound
-// message, on the connection's read goroutine.
+// start launches the accept loop and one writer goroutine per peer;
+// deliver runs for every decoded inbound message, on the connection's
+// read goroutine.
 func (p *peerNet) start(deliver func(from string, m protocol.Msg)) {
 	p.wg.Add(1)
 	go p.acceptLoop(deliver)
+	for _, pc := range p.peers {
+		p.writers.Add(1)
+		go pc.run()
+	}
 }
 
 func (p *peerNet) addr() string { return p.ln.Addr().String() }
@@ -67,47 +328,35 @@ func (p *peerNet) addr() string { return p.ln.Addr().String() }
 // errClosed reports a transmit attempted after close.
 var errClosed = errors.New("transport: peer network closed")
 
-// transmit writes one frame, dialing the peer if needed. On write failure
-// the connection is dropped and the error returned; callers decide whether
-// the protocol resends (acked engines) or the data is lost.
+// transmit enqueues one frame onto the peer's write pipeline. It never
+// blocks on the network: the dedicated writer goroutine dials and writes,
+// so a stalled peer delays only its own queue. When that queue is full
+// the oldest queued frame is evicted and counted (PeerStats.Dropped);
+// callers decide whether the protocol resends (acked engines) or digest
+// anti-entropy repairs the loss.
 func (p *peerNet) transmit(to string, data []byte) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	select {
 	case <-p.stopping:
-		// A sync tick racing close() must not dial fresh connections
-		// into the already-emptied conn map: they would never be closed.
+		// A sync tick racing close() must not enqueue frames the
+		// draining writers will never pick up.
 		return errClosed
 	default:
 	}
-	conn, err := p.dialLocked(to)
-	if err != nil {
-		return err
+	pc, ok := p.peers[to]
+	if !ok {
+		return fmt.Errorf("transport: unknown peer %s", to)
 	}
-	if err := writeFrame(conn, p.id, data); err != nil {
-		conn.Close()
-		delete(p.conns, to)
-		return err
-	}
+	pc.enqueue(data)
 	return nil
 }
 
-// dialLocked returns (establishing if needed) the connection to a peer;
-// callers hold p.mu.
-func (p *peerNet) dialLocked(to string) (net.Conn, error) {
-	if c, ok := p.conns[to]; ok {
-		return c, nil
+// peerStats snapshots every peer pipeline's counters and state.
+func (p *peerNet) peerStats() map[string]PeerStats {
+	out := make(map[string]PeerStats, len(p.peers))
+	for id, pc := range p.peers {
+		out[id] = pc.snapshot()
 	}
-	addr, ok := p.peers[to]
-	if !ok {
-		return nil, fmt.Errorf("transport: unknown peer %s", to)
-	}
-	c, err := p.dial(to, addr)
-	if err != nil {
-		return nil, err
-	}
-	p.conns[to] = c
-	return c, nil
+	return out
 }
 
 func (p *peerNet) acceptLoop(deliver func(from string, m protocol.Msg)) {
@@ -151,21 +400,54 @@ func (p *peerNet) readLoop(conn net.Conn, deliver func(from string, m protocol.M
 	}
 }
 
-// close stops the accept loop and closes every connection. Accepted
+// close stops the accept loop, drains the write pipelines, and closes
+// every connection. The drain is graceful but bounded: writers get
+// drainTimeout to flush queued frames to reachable peers, then the hard
+// stop unblocks any writer stuck dialing, backing off, or writing to a
+// stalled peer, and the rest of the queues are abandoned. Accepted
 // connections park their readLoops in blocking reads; closing them here
 // is what lets wg.Wait return. Idempotent.
 func (p *peerNet) close() error {
 	p.stopOnce.Do(func() { close(p.stopping) })
-	err := p.ln.Close()
-	p.mu.Lock()
-	for _, c := range p.conns {
-		c.Close()
+	var err error
+	if p.ln != nil {
+		err = p.ln.Close()
 	}
-	p.conns = make(map[string]net.Conn)
+	for _, pc := range p.peers {
+		pc.mu.Lock()
+		pc.closed = true
+		pc.cond.Broadcast()
+		pc.mu.Unlock()
+	}
+	drained := make(chan struct{})
+	go func() { p.writers.Wait(); close(drained) }()
+	select {
+	case <-drained:
+	case <-time.After(drainTimeout):
+	}
+	p.hardOnce.Do(func() { close(p.hardStop) })
+	for _, pc := range p.peers {
+		pc.mu.Lock()
+		if pc.conn != nil {
+			pc.conn.Close() // unblocks a writer stuck mid-write
+		}
+		pc.cond.Broadcast()
+		pc.mu.Unlock()
+	}
+	p.mu.Lock()
 	for c := range p.accepted {
 		c.Close()
 	}
 	p.mu.Unlock()
+	// Second bounded wait, not writers.Wait(): a writer can still be
+	// parked inside a blocking Dial hook, which no channel of ours can
+	// interrupt. Close must not inherit the dialer's timeout — such a
+	// writer observes the hard stop as soon as the dial returns, closes
+	// whatever it dialed, and exits without touching shared state.
+	select {
+	case <-drained:
+	case <-time.After(drainTimeout):
+	}
 	p.wg.Wait()
 	return err
 }

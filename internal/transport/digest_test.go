@@ -47,6 +47,10 @@ func TestStoreDigestIdleTrafficBeatsFullShip(t *testing.T) {
 	}
 	s0.SyncNow()
 	s0.SyncNow()
+	// Writes happen on per-peer writer goroutines: wait for the queues to
+	// drain (into the black hole) before healing, or the data frames
+	// would leak out after the drop rate resets.
+	waitQueuesDrained(t, s0, 10*time.Second)
 	if got := s1.NumKeys(); got != 0 {
 		t.Fatalf("black hole leaked: s1 holds %d keys", got)
 	}

@@ -2,86 +2,164 @@ package transport
 
 import (
 	"encoding/binary"
+	"io"
 	"math/rand"
 	"net"
 	"sync"
 	"time"
 )
 
-// Fault is a netsim-style fault injector for the TCP transport: wrapped
-// around a store's dialer (StoreConfig.Dial), it intercepts every
-// outbound frame and applies a seeded drop / duplicate / delay policy, or
-// severs links entirely to simulate partitions. Faults act on whole
-// frames — the wrapper reassembles the length-prefixed framing on the
-// write side — so injected loss looks like a lost message, never a torn
-// byte stream that would desynchronize the receiver's framing and kill
-// the connection.
+// Fault is a netsim-style fault injector for the TCP transport. Wrapped
+// around a store's dialer (StoreConfig.Dial) it intercepts every outbound
+// frame; wrapped around its listener (StoreConfig.Listener) it intercepts
+// every inbound frame. Each direction has its own drop / duplicate /
+// delay policy, severing links entirely simulates partitions, and a
+// reorder-only mode shuffles frame order without ever losing one. Faults
+// act on whole frames — both wrappers reassemble the length-prefixed
+// framing — so injected loss looks like a lost message, never a torn byte
+// stream that would desynchronize the receiver's framing and kill the
+// connection.
 //
 // All knobs are safe to change while connections are live: each frame
 // consults the current policy, so a partition heals on existing
 // connections without redialing.
 type Fault struct {
-	mu       sync.Mutex
-	rng      *rand.Rand
+	mu            sync.Mutex
+	rng           *rand.Rand
+	send, recv    faultPolicy
+	reorderRate   float64
+	reorderWindow time.Duration
+	sever         func(peer string) bool
+}
+
+// faultPolicy is one direction's frame-fate knobs.
+type faultPolicy struct {
 	dropRate float64
 	dupRate  float64
 	delay    time.Duration
-	sever    func(peer string) bool
 }
 
-// NewFault returns a fault injector with a deterministic frame-fate
-// sequence derived from seed and no faults enabled.
+// faultDir is the direction of a frame relative to the store whose
+// injector saw it.
+type faultDir int
+
+const (
+	dirSend faultDir = iota
+	dirRecv
+)
+
+// NewFault returns a fault injector seeded for reproducible fate rates
+// and no faults enabled. The per-frame fate sequence is only fully
+// deterministic when one goroutine writes at a time: with the per-peer
+// write pipelines, writers to different peers interleave their rolls in
+// scheduler order, so the seed fixes the statistics, not which exact
+// frame is hit.
 func NewFault(seed int64) *Fault {
 	return &Fault{rng: rand.New(rand.NewSource(seed))}
 }
 
-// SetDropRate makes each frame independently vanish with probability r.
+// SetDropRate makes each outbound frame independently vanish with
+// probability r.
 func (f *Fault) SetDropRate(r float64) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	f.dropRate = r
+	f.send.dropRate = r
 }
 
-// SetDupRate makes each surviving frame arrive twice with probability r.
+// SetDupRate makes each surviving outbound frame arrive twice with
+// probability r.
 func (f *Fault) SetDupRate(r float64) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	f.dupRate = r
+	f.send.dupRate = r
 }
 
-// SetDelay holds every surviving frame for d before writing it, which
-// also reorders frames relative to later undelayed ones.
+// SetDelay holds every surviving outbound frame for d before writing it,
+// which also reorders frames relative to later undelayed ones.
 func (f *Fault) SetDelay(d time.Duration) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	f.delay = d
+	f.send.delay = d
+}
+
+// SetRecvDropRate makes each inbound frame independently vanish with
+// probability r, on connections accepted through Listener. Send and
+// receive rates are independent: a store can lose everything it is told
+// while everything it says still gets out.
+func (f *Fault) SetRecvDropRate(r float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.recv.dropRate = r
+}
+
+// SetRecvDupRate makes each surviving inbound frame arrive twice with
+// probability r.
+func (f *Fault) SetRecvDupRate(r float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.recv.dupRate = r
+}
+
+// SetRecvDelay holds each surviving inbound frame for d before delivering
+// it. The hold happens on the connection's read stream, so frames behind
+// the held one are delayed with it.
+func (f *Fault) SetRecvDelay(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.recv.delay = d
+}
+
+// SetReorder enables reorder-only mode on the send side: each outbound
+// frame is, with probability r, held for window (on top of any uniform
+// SetDelay) before being written, so later frames overtake it. Unlike
+// SetDropRate/SetDupRate nothing is lost or duplicated while the
+// connection lives — convergence under reorder alone must hold even for
+// engines that assume reliable (but unordered) channels. A held frame
+// whose connection closes before the window elapses is lost like any
+// other in-flight bytes, so drive final ticks to quiescence before
+// closing when the engine has no repair path.
+func (f *Fault) SetReorder(r float64, window time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.reorderRate = r
+	f.reorderWindow = window
 }
 
 // SetSever installs a per-peer blackhole: while fn returns true for a
-// peer, every frame to it is dropped. Partition tests flip this to cut a
-// store off and later heal it.
+// peer, every frame to or from it is dropped. Partition tests flip this
+// to cut a store off and later heal it.
 func (f *Fault) SetSever(fn func(peer string) bool) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.sever = fn
 }
 
-// decide rolls the fate of one frame to peer.
-func (f *Fault) decide(peer string) (drop, dup bool, delay time.Duration) {
+// decide rolls the fate of one frame to or from peer.
+func (f *Fault) decide(dir faultDir, peer string) (drop, dup bool, delay time.Duration) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.sever != nil && f.sever(peer) {
 		return true, false, 0
 	}
-	drop = f.dropRate > 0 && f.rng.Float64() < f.dropRate
-	if !drop {
-		dup = f.dupRate > 0 && f.rng.Float64() < f.dupRate
+	pol := f.send
+	if dir == dirRecv {
+		pol = f.recv
 	}
-	return drop, dup, f.delay
+	drop = pol.dropRate > 0 && f.rng.Float64() < pol.dropRate
+	if !drop {
+		dup = pol.dupRate > 0 && f.rng.Float64() < pol.dupRate
+	}
+	delay = pol.delay
+	if dir == dirSend && !drop &&
+		f.reorderRate > 0 && f.rng.Float64() < f.reorderRate {
+		delay += f.reorderWindow
+	}
+	return drop, dup, delay
 }
 
 // Dialer wraps base (nil for the default TCP dialer) so every connection
-// it establishes passes outbound frames through this injector.
+// it establishes passes outbound frames through this injector's
+// send-direction policy.
 func (f *Fault) Dialer(base DialFunc) DialFunc {
 	if base == nil {
 		base = defaultDial
@@ -95,10 +173,18 @@ func (f *Fault) Dialer(base DialFunc) DialFunc {
 	}
 }
 
-// faultConn applies the fault policy frame by frame on the write side.
-// Reads pass through untouched: faults injected by the writing end of
-// each direction cover every link of a mesh when all stores dial through
-// the same (or a per-store) injector.
+// Listener wraps ln so every connection it accepts passes inbound frames
+// through this injector's receive-direction policy. Use it as
+// StoreConfig.Listener to fault what a store hears independently of what
+// it says.
+func (f *Fault) Listener(ln net.Listener) net.Listener {
+	return &faultListener{Listener: ln, fault: f}
+}
+
+// faultConn applies the send-direction policy frame by frame on the write
+// side. Reads pass through untouched: each direction of a link is its own
+// TCP connection, and inbound faults are the accepting side's business
+// (see Listener).
 type faultConn struct {
 	net.Conn
 	fault *Fault
@@ -139,7 +225,7 @@ func (c *faultConn) Write(p []byte) (int, error) {
 
 // writeFrame rolls one frame's fate and performs the surviving writes.
 func (c *faultConn) writeFrame(frame []byte) error {
-	drop, dup, delay := c.fault.decide(c.peer)
+	drop, dup, delay := c.fault.decide(dirSend, c.peer)
 	if drop {
 		return nil
 	}
@@ -167,4 +253,87 @@ func (c *faultConn) writeFrame(frame []byte) error {
 		}
 	}
 	return nil
+}
+
+// faultListener wraps accepted connections with the receive-side filter.
+type faultListener struct {
+	net.Listener
+	fault *Fault
+}
+
+func (l *faultListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return &recvFaultConn{Conn: c, fault: l.fault}, nil
+}
+
+// recvFaultConn applies the receive-direction policy frame by frame on
+// the read side: whole frames are reassembled from the underlying stream
+// and only the survivors are re-emitted to the caller, so a dropped frame
+// looks exactly like one the sender never wrote. The sender id is peeked
+// from each frame for per-peer severing. A frame with a hostile length
+// prefix switches the connection to raw pass-through — the receiver's own
+// bounds check is about to kill it, and the injector must not hide that.
+type recvFaultConn struct {
+	net.Conn
+	fault *Fault
+	buf   []byte // surviving bytes awaiting delivery
+	raw   bool
+}
+
+func (c *recvFaultConn) Read(p []byte) (int, error) {
+	if c.raw && len(c.buf) == 0 {
+		return c.Conn.Read(p)
+	}
+	for len(c.buf) == 0 {
+		var hdr [4]byte
+		if _, err := io.ReadFull(c.Conn, hdr[:]); err != nil {
+			return 0, err
+		}
+		total := binary.BigEndian.Uint32(hdr[:])
+		if total > maxFrameBytes {
+			c.raw = true
+			c.buf = append(c.buf, hdr[:]...)
+			break
+		}
+		body := make([]byte, total)
+		if _, err := io.ReadFull(c.Conn, body); err != nil {
+			return 0, err
+		}
+		drop, dup, delay := c.fault.decide(dirRecv, peerFromFrame(body))
+		if drop {
+			continue
+		}
+		if delay > 0 {
+			// The hold happens on this connection's read stream, so
+			// frames behind the held one arrive late with it.
+			time.Sleep(delay)
+		}
+		copies := 1
+		if dup {
+			copies = 2
+		}
+		for i := 0; i < copies; i++ {
+			c.buf = append(c.buf, hdr[:]...)
+			c.buf = append(c.buf, body...)
+		}
+	}
+	n := copy(p, c.buf)
+	c.buf = c.buf[n:]
+	return n, nil
+}
+
+// peerFromFrame extracts the sender id from a frame body (2-byte length
+// prefix + id); unparseable bodies report an empty peer.
+func peerFromFrame(body []byte) string {
+	if len(body) < 2 {
+		return ""
+	}
+	n := int(body[0])<<8 | int(body[1])
+	if len(body) < 2+n {
+		return ""
+	}
+	return string(body[2 : 2+n])
 }

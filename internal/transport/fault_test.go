@@ -180,6 +180,94 @@ func TestStorePartitionHealsToConvergence(t *testing.T) {
 	}
 }
 
+// TestFaultReorderOnlyIsLossless pins the reorder-only mode: half of all
+// outbound frames are held back 5ms (so later frames overtake them), on
+// top of a 1ms receive-side delay on every store. The cluster runs the
+// plain delta engine with digests DISABLED — an engine with no repair
+// path whatsoever — so exact convergence is only possible if reorder mode
+// truly never drops or duplicates a frame.
+func TestFaultReorderOnlyIsLossless(t *testing.T) {
+	const keys = 80
+	fault := transport.NewFault(11)
+	fault.SetReorder(0.5, 5*time.Millisecond)
+	fault.SetRecvDelay(time.Millisecond)
+	stores := startStoreClusterWith(t, 2, transport.StoreConfig{
+		Shards:      8,
+		Factory:     protocol.NewDeltaBPRR(),
+		ObjType:     gcounters,
+		SyncEvery:   10 * time.Millisecond,
+		DigestEvery: 0, // no repair path: loss would be permanent divergence
+	}, func(i int, id string, cfg *transport.StoreConfig) {
+		cfg.Dial = fault.Dialer(nil)
+		cfg.Listener = fault.Listener(cfg.Listener)
+	})
+	for k := 0; k < keys; k++ {
+		stores[k%2].Update(workload.Op{Kind: workload.KindInc, Key: fmt.Sprintf("key-%03d", k), N: 2})
+		if k%8 == 7 {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	if err := transport.WaitConverged(stores, keys, 60*time.Second, nil); err != nil {
+		t.Fatalf("reorder-only faults lost or duplicated a frame: %v", err)
+	}
+	for k := 0; k < keys; k++ {
+		key := fmt.Sprintf("key-%03d", k)
+		for _, st := range stores {
+			if v := st.Get(key).(*crdt.GCounter).Value(); v != 2 {
+				t.Errorf("%s on %s = %d, want 2", key, st.ID(), v)
+			}
+		}
+	}
+}
+
+// TestFaultRecvDropIsPerDirection proves send and receive policies are
+// independent: with s-00's receive side a total blackhole, everything
+// s-00 says still reaches s-01, while s-00 itself learns nothing — and
+// once the receive side heals, the acked engine retransmits its way to
+// exact convergence.
+func TestFaultRecvDropIsPerDirection(t *testing.T) {
+	fault := transport.NewFault(5)
+	fault.SetRecvDropRate(1)
+	stores := startStoreClusterWith(t, 2, transport.StoreConfig{
+		Shards:      8,
+		Factory:     protocol.NewDeltaAcked(true, true),
+		ObjType:     gcounters,
+		SyncEvery:   10 * time.Millisecond,
+		DigestEvery: 2,
+	}, func(i int, id string, cfg *transport.StoreConfig) {
+		if id == "s-00" {
+			cfg.Listener = fault.Listener(cfg.Listener)
+		}
+	})
+	stores[0].Update(workload.Op{Kind: workload.KindInc, Key: "from-zero", N: 1})
+	stores[1].Update(workload.Op{Kind: workload.KindInc, Key: "from-one", N: 1})
+	// Send direction unaffected: s-01 learns s-00's key.
+	deadline := time.Now().Add(10 * time.Second)
+	for stores[1].Get("from-zero") == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("s-00's sends blocked by its receive-side faults")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Receive direction blackholed: s-00 must still know only itself,
+	// despite s-01 retransmitting at it the whole time.
+	time.Sleep(200 * time.Millisecond)
+	if got := stores[0].NumKeys(); got != 1 {
+		t.Fatalf("receive blackhole leaked: s-00 holds %d keys, want 1", got)
+	}
+	fault.SetRecvDropRate(0)
+	if err := transport.WaitConverged(stores, 2, 30*time.Second, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"from-zero", "from-one"} {
+		for _, st := range stores {
+			if v := st.Get(key).(*crdt.GCounter).Value(); v != 1 {
+				t.Errorf("%s on %s = %d, want 1", key, st.ID(), v)
+			}
+		}
+	}
+}
+
 // TestStoreConvergesUnderDupAndDelay duplicates 30% of frames and delays
 // every frame by a few milliseconds (which also reorders them relative to
 // replies). Merges are idempotent and acks tolerate replay, so every

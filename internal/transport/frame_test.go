@@ -65,11 +65,13 @@ func TestReadFrameBadSenderLength(t *testing.T) {
 func TestTransmitToUnknownPeerIsDropped(t *testing.T) {
 	// Transmitting to a peer id that is not configured must fail cleanly
 	// rather than panicking or blocking; Node and Store drop the frame.
-	p := newPeerNet("a", map[string]string{}, nil, nil)
-	if _, err := p.dialLocked("stranger"); err == nil {
-		t.Error("dial of unknown peer should fail")
-	}
+	// There is no write pipeline for an unknown peer — pipelines are
+	// fixed at construction.
+	p := newPeerNet("a", map[string]string{}, nil, nil, 0)
 	if err := p.transmit("stranger", []byte("x")); err == nil {
 		t.Error("transmit to unknown peer should fail")
+	}
+	if got := len(p.peerStats()); got != 0 {
+		t.Errorf("peer pipelines = %d, want 0", got)
 	}
 }

@@ -44,6 +44,13 @@ type StoreConfig struct {
 	ObjType func(key string) workload.Datatype
 	// SyncEvery is the synchronization period (default 1s).
 	SyncEvery time.Duration
+	// PeerQueueLen bounds each peer's outbound frame queue (default
+	// 128). transmit is a non-blocking enqueue onto a per-peer writer
+	// goroutine, so a stalled peer delays only its own frames; when a
+	// queue fills, the oldest queued frame is evicted (drop-oldest) and
+	// counted in Stats().Peers — acked engines retransmit the loss and
+	// digest anti-entropy repairs the rest.
+	PeerQueueLen int
 	// DigestEvery enables digest anti-entropy: every DigestEvery-th sync
 	// tick the store also ships its per-shard digest vector to every
 	// peer; a peer whose digests differ requests those shards in full.
@@ -87,6 +94,12 @@ type StoreStats struct {
 	RepairShards int
 	// Sent is the aggregated protocol-level transmission accounting.
 	Sent metrics.Transmission
+	// Peers holds the per-peer write-pipeline accounting: frames
+	// enqueued toward each peer, frames dropped (queue overflow or
+	// failed sends), reconnects, and the pipeline's connection state.
+	// Frames/WireBytes above count at enqueue time; Peers is where a
+	// stalled or dead peer's losses become visible.
+	Peers map[string]PeerStats
 }
 
 // Add accumulates another snapshot into s, field by field; benchmarks and
@@ -101,6 +114,18 @@ func (s *StoreStats) Add(o StoreStats) {
 	s.WantShards += o.WantShards
 	s.RepairShards += o.RepairShards
 	s.Sent.Add(o.Sent)
+	for id, ps := range o.Peers {
+		if s.Peers == nil {
+			s.Peers = make(map[string]PeerStats)
+		}
+		cur := s.Peers[id]
+		cur.Enqueued += ps.Enqueued
+		cur.Dropped += ps.Dropped
+		cur.Reconnects += ps.Reconnects
+		cur.Queued += ps.Queued
+		cur.State = "" // connection states from different stores are not additive
+		s.Peers[id] = cur
+	}
 }
 
 // shard is one lock domain: a per-object engine (a keyspace partition)
@@ -218,7 +243,7 @@ func StartStore(cfg StoreConfig) (*Store, error) {
 	}
 	s := &Store{
 		cfg:       cfg,
-		net:       newPeerNet(cfg.ID, cfg.Peers, ln, cfg.Dial),
+		net:       newPeerNet(cfg.ID, cfg.Peers, ln, cfg.Dial, cfg.PeerQueueLen),
 		shards:    shards,
 		mask:      uint32(cfg.Shards - 1),
 		neighbors: neighbors,
@@ -361,12 +386,18 @@ func (s *Store) Memory() metrics.Memory {
 	return total
 }
 
-// Stats returns a snapshot of the wire accounting.
+// Stats returns a snapshot of the wire accounting, including the
+// per-peer write-pipeline counters and connection states.
 func (s *Store) Stats() StoreStats {
 	s.statsMu.Lock()
-	defer s.statsMu.Unlock()
-	return s.stats
+	st := s.stats
+	s.statsMu.Unlock()
+	st.Peers = s.net.peerStats()
+	return st
 }
+
+// Ticks returns how many synchronization steps this store has run.
+func (s *Store) Ticks() uint64 { return s.ticks.Load() }
 
 // outBatch accumulates per-destination shard items in first-send order.
 type outBatch struct {
@@ -415,7 +446,8 @@ func (s *Store) SyncNow() {
 		sh.mu.Unlock()
 	}
 	s.flush(b)
-	if every := uint64(s.cfg.DigestEvery); every > 0 && s.ticks.Add(1)%every == 0 {
+	tick := s.ticks.Add(1)
+	if every := uint64(s.cfg.DigestEvery); every > 0 && tick%every == 0 {
 		s.broadcastDigests()
 	}
 }
@@ -500,12 +532,15 @@ func (s *Store) sendSharded(to string, items []protocol.ShardItem, split bool) {
 	s.statsMu.Unlock()
 }
 
-// transmit writes one frame and records wire stats on success. A send
-// failure drops the frame: a neighbor that is down catches up on a later
-// tick when the inner engines resend (acked engines retransmit until
-// acknowledged) or when digest anti-entropy observes the divergence; pair
-// plain delta-based without digests with this transport only where
-// TCP-level loss is acceptable.
+// transmit enqueues one frame onto the peer's write pipeline and records
+// wire stats at enqueue time (a dedicated writer goroutine performs the
+// actual dial and write, so stats here count frames handed to the
+// pipeline). A frame lost downstream — queue overflow, failed dial or
+// write — shows up in Stats().Peers[to].Dropped; the neighbor catches up
+// on a later tick when the inner engines resend (acked engines retransmit
+// until acknowledged) or when digest anti-entropy observes the
+// divergence. Pair plain delta-based without digests with this transport
+// only where loss is acceptable.
 func (s *Store) transmit(to string, data []byte, cost metrics.Transmission, digest bool) {
 	if err := s.net.transmit(to, data); err != nil {
 		return // neighbor down or unknown; repaired on a later tick

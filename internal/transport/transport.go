@@ -110,7 +110,7 @@ func Start(cfg Config) (*Node, error) {
 	}
 	n := &Node{
 		cfg:      cfg,
-		net:      newPeerNet(cfg.ID, cfg.Peers, ln, nil),
+		net:      newPeerNet(cfg.ID, cfg.Peers, ln, nil, 0),
 		engine:   engine,
 		stopping: make(chan struct{}),
 	}

@@ -31,6 +31,8 @@ func main() {
 	digestEvery := flag.Int("digest-every", 4, "store experiment: ship per-shard digests every N ticks (0 disables digest anti-entropy)")
 	faultDrop := flag.Float64("fault-drop", 0, "store experiment: drop this fraction of frames on every link (0 disables fault injection)")
 	peerQueue := flag.Int("peer-queue", 0, "store experiment: per-peer outbound frame queue length (0 = default)")
+	peerQueueBytes := flag.Int("peer-queue-bytes", 0, "store experiment: per-peer outbound queue byte budget (0 = default)")
+	noPiggyback := flag.Bool("no-piggyback", false, "store experiment: ship every digest advertisement standalone instead of piggybacking on data frames")
 	flag.Parse()
 
 	if *list {
@@ -50,15 +52,17 @@ func main() {
 
 	if *expID == "store" {
 		runStoreBench(storeBenchConfig{
-			Keys:         *keys,
-			Nodes:        *nodeCount,
-			Shards:       *shards,
-			SyncEvery:    *syncEvery,
-			Engine:       *engine,
-			DigestEvery:  *digestEvery,
-			FaultDrop:    *faultDrop,
-			PeerQueueLen: *peerQueue,
-			Seed:         *seed,
+			Keys:           *keys,
+			Nodes:          *nodeCount,
+			Shards:         *shards,
+			SyncEvery:      *syncEvery,
+			Engine:         *engine,
+			DigestEvery:    *digestEvery,
+			FaultDrop:      *faultDrop,
+			PeerQueueLen:   *peerQueue,
+			PeerQueueBytes: *peerQueueBytes,
+			NoPiggyback:    *noPiggyback,
+			Seed:           *seed,
 		})
 		return
 	}

@@ -35,9 +35,16 @@ type storeBenchConfig struct {
 	// every link, so the benchmark measures the bytes+ticks cost of
 	// converging under loss (acked retransmissions and digest repairs).
 	FaultDrop float64
-	// PeerQueueLen sets each replica's per-peer outbound queue length
-	// (0 = transport default).
+	// PeerQueueLen sets each replica's per-peer outbound queue length in
+	// frames (0 = transport default).
 	PeerQueueLen int
+	// PeerQueueBytes sets each replica's per-peer outbound queue byte
+	// budget (0 = transport default).
+	PeerQueueBytes int
+	// NoPiggyback disables digest piggybacking, shipping every digest
+	// advertisement as its own frame — the pre-piggybacking wire
+	// behavior, kept as a measurement baseline.
+	NoPiggyback bool
 	// Seed seeds the fault injector's frame-fate sequence.
 	Seed int64
 }
@@ -63,13 +70,15 @@ func runStoreBench(cfg storeBenchConfig) {
 		os.Exit(2)
 	}
 	template := transport.StoreConfig{
-		ID:           "store",
-		Shards:       cfg.Shards,
-		Factory:      factory,
-		ObjType:      func(string) workload.Datatype { return workload.GCounterType{} },
-		SyncEvery:    cfg.SyncEvery,
-		DigestEvery:  cfg.DigestEvery,
-		PeerQueueLen: cfg.PeerQueueLen,
+		ID:                "store",
+		Shards:            cfg.Shards,
+		Factory:           factory,
+		ObjType:           func(string) workload.Datatype { return workload.GCounterType{} },
+		SyncEvery:         cfg.SyncEvery,
+		DigestEvery:       cfg.DigestEvery,
+		PeerQueueLen:      cfg.PeerQueueLen,
+		PeerQueueBytes:    cfg.PeerQueueBytes,
+		NoDigestPiggyback: cfg.NoPiggyback,
 	}
 	if cfg.FaultDrop > 0 {
 		fault := transport.NewFault(cfg.Seed)
@@ -89,7 +98,11 @@ func runStoreBench(cfg storeBenchConfig) {
 		cfg.Nodes, stores[0].NumShards(), cfg.Keys, cfg.SyncEvery)
 	fmt.Printf("engine: %s\n", engineDesc)
 	if cfg.DigestEvery > 0 {
-		fmt.Printf("anti-entropy: per-shard digests every %d ticks\n", cfg.DigestEvery)
+		mode := "piggybacked on data frames"
+		if cfg.NoPiggyback {
+			mode = "standalone frames only (piggybacking disabled)"
+		}
+		fmt.Printf("anti-entropy: per-shard digests every %d ticks, %s\n", cfg.DigestEvery, mode)
 	}
 	if cfg.FaultDrop > 0 {
 		fmt.Printf("fault injection: dropping %.0f%% of frames on every link\n", cfg.FaultDrop*100)
@@ -136,8 +149,8 @@ func runStoreBench(cfg storeBenchConfig) {
 		fmtBytes(total.Sent.PayloadBytes), fmtBytes(total.Sent.MetadataBytes),
 		total.Sent.Elements)
 	if cfg.DigestEvery > 0 || total.SplitFrames > 0 || total.OversizedDropped > 0 {
-		fmt.Printf("anti-entropy: %d digest frames, %d shards requested, %d shards served in full; %d split frames, %d oversized drops\n",
-			total.DigestFrames, total.WantShards, total.RepairShards,
+		fmt.Printf("anti-entropy: %d standalone digest frames, %d piggybacked digests, %d shards requested, %d shards served in full; %d split frames, %d oversized drops\n",
+			total.DigestFrames, total.PiggybackedDigests, total.WantShards, total.RepairShards,
 			total.SplitFrames, total.OversizedDropped)
 	}
 	if total.Frames > 0 {
@@ -145,14 +158,17 @@ func runStoreBench(cfg storeBenchConfig) {
 			float64(total.Sent.Elements)/float64(total.Frames),
 			float64(total.Frames)/float64(cfg.Nodes))
 	}
-	var enq, dropped, reconnects int
+	var enq, enqBytes, dropped, droppedBytes, coalesced, reconnects int
 	for _, ps := range total.Peers {
 		enq += ps.Enqueued
+		enqBytes += ps.EnqueuedBytes
 		dropped += ps.Dropped
+		droppedBytes += ps.DroppedBytes
+		coalesced += ps.Coalesced
 		reconnects += ps.Reconnects
 	}
-	fmt.Printf("pipeline: %d frames enqueued, %d dropped (queue overflow / failed sends), %d reconnects\n",
-		enq, dropped, reconnects)
+	fmt.Printf("pipeline: %d frames enqueued (%s), %d dropped (%s; queue overflow / failed sends), %d coalesced on drain, %d reconnects\n",
+		enq, fmtBytes(enqBytes), dropped, fmtBytes(droppedBytes), coalesced, reconnects)
 	mem := metrics.Memory{}
 	for _, st := range stores {
 		m := st.Memory()

@@ -86,24 +86,26 @@ func main() {
 		log.Fatal(err)
 	}
 
-	var frames, wireBytes, elements, enqueued, dropped, reconnects int
+	var frames, wireBytes, elements, piggybacked, enqueued, dropped, coalesced, reconnects int
 	for _, st := range stores {
 		s := st.Stats()
 		frames += s.Frames
 		wireBytes += s.WireBytes
 		elements += s.Sent.Elements
+		piggybacked += s.PiggybackedDigests
 		for _, ps := range s.Peers {
 			enqueued += ps.Enqueued
 			dropped += ps.Dropped
+			coalesced += ps.Coalesced
 			reconnects += ps.Reconnects
 		}
 	}
 	fmt.Printf("\nconverged in %s: every replica holds all %d keys (digest %x)\n",
 		time.Since(start).Round(time.Millisecond), *keys, stores[0].Digest())
-	fmt.Printf("wire: %d batched frames, %.1f MiB total, %.0f keys/frame average\n",
-		frames, float64(wireBytes)/(1<<20), float64(elements)/float64(frames))
-	fmt.Printf("pipeline: %d frames enqueued, %d dropped, %d reconnects\n",
-		enqueued, dropped, reconnects)
+	fmt.Printf("wire: %d batched frames, %.1f MiB total, %.0f keys/frame average, %d digests piggybacked on data frames\n",
+		frames, float64(wireBytes)/(1<<20), float64(elements)/float64(frames), piggybacked)
+	fmt.Printf("pipeline: %d frames enqueued, %d dropped, %d coalesced on drain, %d reconnects\n",
+		enqueued, dropped, coalesced, reconnects)
 
 	// Steady state: with every shard clean, ticks cost only the digest
 	// heartbeat (8 bytes per shard per peer, every digest-every ticks).
@@ -148,7 +150,7 @@ func main() {
 		idle := 10 * *syncEvery
 		time.Sleep(idle)
 		after := agg()
-		fmt.Printf("steady state: %d B on the wire over %s idle (%d digest heartbeats, %d data frames, %d shard repairs)\n",
+		fmt.Printf("steady state: %d B on the wire over %s idle (%d standalone digest heartbeats — piggybacking needs data frames to ride — %d data frames, %d shard repairs)\n",
 			after.WireBytes-before.WireBytes, idle.Round(time.Millisecond),
 			after.DigestFrames-before.DigestFrames,
 			(after.Frames-after.DigestFrames)-(before.Frames-before.DigestFrames),

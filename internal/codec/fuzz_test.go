@@ -72,6 +72,10 @@ func FuzzDecodeMsg(f *testing.F) {
 		{Shard: 0, Msg: batch},
 		{Shard: 7, Msg: protocol.NewAckMsg([]uint64{9}, cost)},
 	}))
+	// The digest-carrying sharded variant (piggybacked anti-entropy).
+	seed(protocol.NewShardedDigestMsg([]protocol.ShardItem{
+		{Shard: 3, Msg: protocol.NewDeltaMsg(crdt.NewGSet("p"), cost)},
+	}, []uint64{0, ^uint64(0), 0xabcdef}))
 	seed(protocol.NewDigestMsg([]uint64{0, ^uint64(0), 0xdeadbeef}, nil,
 		protocol.DigestCost([]uint64{0, 1, 2}, nil)))
 	seed(protocol.NewDigestMsg(nil, []uint32{0, 5, 4294967295},
@@ -80,6 +84,7 @@ func FuzzDecodeMsg(f *testing.F) {
 	f.Add([]byte{70, 1, 2, 3})
 	f.Add([]byte{72, 0, 0, 0, 0, 2, 1})                   // sharded, 2 items, truncated
 	f.Add([]byte{73, 0, 0, 0, 0, 255, 255, 255, 255, 15}) // digest, hostile count
+	f.Add([]byte{74, 0, 0, 0, 0, 255, 255, 255, 255, 15}) // sharded+digest, hostile count
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, n, err := codec.DecodeMsg(data)

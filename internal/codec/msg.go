@@ -23,6 +23,7 @@ const (
 	tagBatchMsg
 	tagShardedMsg
 	tagDigestMsg
+	tagShardedDigestMsg
 )
 
 // maxMsgNesting bounds message nesting during decoding. Legitimate
@@ -220,13 +221,10 @@ func appendMsg(b []byte, m protocol.Msg) ([]byte, error) {
 		return b, nil
 
 	case *protocol.BatchMsg:
-		b = append(b, tagBatchMsg)
-		b = appendCost(b, v.Cost())
-		b = binary.AppendUvarint(b, uint64(len(v.Items)))
+		b = AppendBatchHeader(b, v.Cost(), len(v.Items))
 		for _, it := range v.Items {
-			b = appendString(b, it.Key)
 			var err error
-			b, err = appendMsg(b, it.Inner)
+			b, err = AppendObjectMsg(b, it)
 			if err != nil {
 				return nil, err
 			}
@@ -234,13 +232,10 @@ func appendMsg(b []byte, m protocol.Msg) ([]byte, error) {
 		return b, nil
 
 	case *protocol.ShardedMsg:
-		b = append(b, tagShardedMsg)
-		b = appendCost(b, v.Cost())
-		b = binary.AppendUvarint(b, uint64(len(v.Items)))
+		b = AppendShardedHeader(b, v.Cost(), v.Digests, len(v.Items))
 		for _, it := range v.Items {
-			b = binary.AppendUvarint(b, uint64(it.Shard))
 			var err error
-			b, err = appendMsg(b, it.Msg)
+			b, err = AppendShardItem(b, it)
 			if err != nil {
 				return nil, err
 			}
@@ -265,6 +260,35 @@ func appendMsg(b []byte, m protocol.Msg) ([]byte, error) {
 	default:
 		return nil, fmt.Errorf("codec: no wire format for message %T", m)
 	}
+}
+
+// readShardItems decodes the shared tail of the sharded frame variants:
+// an item count followed by (shard index, inner message) pairs.
+func readShardItems(data []byte, depth int) ([]protocol.ShardItem, int, error) {
+	count, n, err := readUvarint(data)
+	if err != nil {
+		return nil, 0, err
+	}
+	items := make([]protocol.ShardItem, 0, capHint(count, data[n:]))
+	for i := uint64(0); i < count; i++ {
+		shard, m, err := readUvarint(data[n:])
+		if err != nil {
+			return nil, 0, err
+		}
+		if shard > math.MaxUint32 {
+			// Truncating would alias a corrupt index into the valid
+			// shard range, bypassing the receiver's bounds check.
+			return nil, 0, fmt.Errorf("codec: shard index %d out of range", shard)
+		}
+		n += m
+		inner, m2, err := decodeMsg(data[n:], depth+1)
+		if err != nil {
+			return nil, 0, err
+		}
+		n += m2
+		items = append(items, protocol.ShardItem{Shard: uint32(shard), Msg: inner})
+	}
+	return items, n, nil
 }
 
 func readMsgBody(tag byte, data []byte, depth int) (protocol.Msg, int, error) {
@@ -418,31 +442,36 @@ func readMsgBody(tag byte, data []byte, depth int) (protocol.Msg, int, error) {
 		return protocol.NewBatchMsg(items, cost), n, nil
 
 	case tagShardedMsg:
-		count, m, err := readUvarint(data[n:])
+		items, m, err := readShardItems(data[n:], depth)
+		if err != nil {
+			return nil, 0, err
+		}
+		return protocol.NewShardedMsgWithCost(items, cost), n + m, nil
+
+	case tagShardedDigestMsg:
+		dcount, m, err := readUvarint(data[n:])
 		if err != nil {
 			return nil, 0, err
 		}
 		n += m
-		items := make([]protocol.ShardItem, 0, capHint(count, data[n:]))
-		for i := uint64(0); i < count; i++ {
-			shard, m2, err := readUvarint(data[n:])
-			if err != nil {
-				return nil, 0, err
-			}
-			if shard > math.MaxUint32 {
-				// Truncating would alias a corrupt index into the valid
-				// shard range, bypassing the receiver's bounds check.
-				return nil, 0, fmt.Errorf("codec: shard index %d out of range", shard)
-			}
-			n += m2
-			inner, m3, err := decodeMsg(data[n:], depth+1)
-			if err != nil {
-				return nil, 0, err
-			}
-			n += m3
-			items = append(items, protocol.ShardItem{Shard: uint32(shard), Msg: inner})
+		// Digests are fixed 8-byte words, so a hostile count is checked
+		// against the actual remaining bytes before allocating.
+		if dcount > uint64(len(data)-n)/8 {
+			return nil, 0, ErrTruncated
 		}
-		return protocol.NewShardedMsgWithCost(items, cost), n, nil
+		// Non-nil even when empty: a decoded message must re-encode to the
+		// same tag (the canonical fixed point), and nil selects the plain
+		// sharded encoding.
+		digests := make([]uint64, dcount)
+		for i := range digests {
+			digests[i] = binary.BigEndian.Uint64(data[n:])
+			n += 8
+		}
+		items, m, err := readShardItems(data[n:], depth)
+		if err != nil {
+			return nil, 0, err
+		}
+		return protocol.NewShardedDigestMsgWithCost(items, digests, cost), n + m, nil
 
 	case tagDigestMsg:
 		count, m, err := readUvarint(data[n:])

@@ -160,6 +160,107 @@ func TestShardedMsgRoundTrip(t *testing.T) {
 	}
 }
 
+func TestShardedDigestMsgRoundTrip(t *testing.T) {
+	items := []protocol.ShardItem{
+		{Shard: 2, Msg: protocol.NewDeltaMsg(crdt.NewGSet("a"), cost())},
+	}
+	vec := []uint64{7, 0, ^uint64(0), 0xfeedface}
+	m := protocol.NewShardedDigestMsg(items, vec)
+	got := msgRoundTrip(t, m).(*protocol.ShardedMsg)
+	if len(got.Items) != 1 || got.Items[0].Shard != 2 {
+		t.Fatalf("items = %+v", got.Items)
+	}
+	if len(got.Digests) != 4 || got.Digests[2] != ^uint64(0) || got.Digests[3] != 0xfeedface {
+		t.Errorf("digests = %v", got.Digests)
+	}
+	// The plain and digest-carrying variants use distinct wire tags, so a
+	// nil vector must re-encode to the plain encoding and a non-nil one
+	// (even empty) to the digest-carrying encoding — the canonical fixed
+	// point the fuzz target demands.
+	plain, _ := codec.EncodeMsg(protocol.NewShardedMsg(items))
+	carrying, _ := codec.EncodeMsg(m)
+	if plain[0] == carrying[0] {
+		t.Error("digest-carrying encoding shares the plain tag")
+	}
+	empty, _ := codec.EncodeMsg(protocol.NewShardedDigestMsg(items, []uint64{}))
+	if empty[0] != carrying[0] {
+		t.Error("empty non-nil vector should keep the digest-carrying tag")
+	}
+	gotEmpty, _, err := codec.DecodeMsg(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotEmpty.(*protocol.ShardedMsg).Digests == nil {
+		t.Error("empty vector decoded to nil: re-encode would change tags")
+	}
+}
+
+func TestShardedDigestMsgHostileCount(t *testing.T) {
+	// The piggybacked vector's count is bounds-checked against the actual
+	// remaining bytes before allocating, like DigestMsg's.
+	header := []byte{74, 0, 0, 0, 0} // tagShardedDigestMsg, zero cost
+	for _, count := range []uint64{1 << 60, 3} {
+		data := binary.AppendUvarint(append([]byte{}, header...), count)
+		data = append(data, make([]byte, 16)...) // room for only 2 digests
+		if _, _, err := codec.DecodeMsg(data); err == nil {
+			t.Errorf("digest count %d over 16 payload bytes should fail", count)
+		}
+	}
+}
+
+func TestMergeSharded(t *testing.T) {
+	itemsA := []protocol.ShardItem{
+		{Shard: 1, Msg: protocol.NewDeltaMsg(crdt.NewGSet("a"), cost())},
+		{Shard: 2, Msg: protocol.NewDeltaMsg(crdt.NewGSet("b"), cost())},
+	}
+	itemsB := []protocol.ShardItem{
+		{Shard: 9, Msg: protocol.NewAckMsg([]uint64{4}, cost())},
+	}
+	ma, mb := protocol.NewShardedMsg(itemsA), protocol.NewShardedMsg(itemsB)
+	ea, _ := codec.EncodeMsg(ma)
+	eb, _ := codec.EncodeMsg(mb)
+	if !codec.CanMergeSharded(ea) || !codec.CanMergeSharded(eb) {
+		t.Fatal("plain sharded frames reported unmergeable")
+	}
+	merged, ok := codec.MergeSharded([][]byte{ea, eb})
+	if !ok {
+		t.Fatal("two plain sharded frames refused to merge")
+	}
+	if len(merged) > len(ea)+len(eb) {
+		t.Errorf("merged %d bytes from %d+%d: merging must never grow", len(merged), len(ea), len(eb))
+	}
+	got, n, err := codec.DecodeMsg(merged)
+	if err != nil || n != len(merged) {
+		t.Fatalf("merged frame decode: n=%d err=%v", n, err)
+	}
+	sm := got.(*protocol.ShardedMsg)
+	if len(sm.Items) != 3 || sm.Items[0].Shard != 1 || sm.Items[2].Shard != 9 {
+		t.Fatalf("merged items = %+v", sm.Items)
+	}
+	wantCost := ma.Cost()
+	wantCost.Add(mb.Cost())
+	if sm.Cost() != wantCost {
+		t.Errorf("merged cost = %+v, want summed %+v", sm.Cost(), wantCost)
+	}
+	// Non-mergeable inputs: a digest-carrying frame (its vector describes
+	// one instant, not a range) and a non-sharded message. CanMergeSharded
+	// must agree with MergeSharded on every case.
+	ec, _ := codec.EncodeMsg(protocol.NewShardedDigestMsg(itemsB, []uint64{1, 2}))
+	if _, ok := codec.MergeSharded([][]byte{ea, ec}); ok || codec.CanMergeSharded(ec) {
+		t.Error("digest-carrying frame must not merge")
+	}
+	ed, _ := codec.EncodeMsg(protocol.NewAckMsg([]uint64{1}, cost()))
+	if _, ok := codec.MergeSharded([][]byte{ea, ed}); ok || codec.CanMergeSharded(ed) {
+		t.Error("non-sharded frame must not merge")
+	}
+	if _, ok := codec.MergeSharded([][]byte{nil, ea}); ok {
+		t.Error("empty input must not merge")
+	}
+	if _, ok := codec.MergeSharded(nil); ok {
+		t.Error("empty frame list must not merge")
+	}
+}
+
 func TestShardedMsgCostAggregation(t *testing.T) {
 	inner := protocol.NewDeltaMsg(crdt.NewGSet("x", "y"), metrics.Transmission{
 		Messages: 1, Elements: 2, PayloadBytes: 10, MetadataBytes: 8,

@@ -17,9 +17,17 @@ type ShardItem struct {
 // ships one frame carrying deltas for many keys across many shards. The
 // shard index routes each inner message to the peer's matching shard, so
 // both sides must run the same shard count.
+//
+// Digests, when non-nil, piggybacks the sender's per-shard digest vector
+// (the anti-entropy advertisement otherwise carried by a standalone
+// DigestMsg) onto the data frame, Scuttlebutt-style: a tick that ships
+// data anyway advertises its digests for free instead of paying a second
+// frame. The receiver processes the vector exactly as it would a DigestMsg
+// advertisement.
 type ShardedMsg struct {
-	Items []ShardItem
-	cost  metrics.Transmission
+	Items   []ShardItem
+	Digests []uint64
+	cost    metrics.Transmission
 }
 
 // Kind implements Msg.
@@ -32,20 +40,33 @@ func (m *ShardedMsg) Cost() metrics.Transmission { return m.cost }
 // one message on the wire, inner elements/payload summed, and 4 bytes of
 // routing metadata per shard index.
 func NewShardedMsg(items []ShardItem) *ShardedMsg {
-	cost := metrics.Transmission{Messages: 1}
+	return NewShardedDigestMsg(items, nil)
+}
+
+// NewShardedDigestMsg builds a ShardedMsg carrying a piggybacked digest
+// vector, charging the standard 8 bytes of metadata per digest word on top
+// of the item accounting.
+func NewShardedDigestMsg(items []ShardItem, digests []uint64) *ShardedMsg {
+	cost := metrics.Transmission{Messages: 1, MetadataBytes: 8 * len(digests)}
 	for _, it := range items {
 		ic := it.Msg.Cost()
 		cost.Elements += ic.Elements
 		cost.PayloadBytes += ic.PayloadBytes
 		cost.MetadataBytes += ic.MetadataBytes + 4
 	}
-	return &ShardedMsg{Items: items, cost: cost}
+	return &ShardedMsg{Items: items, Digests: digests, cost: cost}
 }
 
 // NewShardedMsgWithCost rebuilds a ShardedMsg with explicit accounting;
 // used by transports that deserialize frames from the wire.
 func NewShardedMsgWithCost(items []ShardItem, cost metrics.Transmission) *ShardedMsg {
 	return &ShardedMsg{Items: items, cost: cost}
+}
+
+// NewShardedDigestMsgWithCost rebuilds a digest-carrying ShardedMsg with
+// explicit accounting; used by transports that deserialize frames.
+func NewShardedDigestMsgWithCost(items []ShardItem, digests []uint64, cost metrics.Transmission) *ShardedMsg {
+	return &ShardedMsg{Items: items, Digests: digests, cost: cost}
 }
 
 // KeyedEngine is implemented by engines that replicate a keyspace of named

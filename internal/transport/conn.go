@@ -27,11 +27,33 @@ func defaultDial(_, addr string) (net.Conn, error) {
 // drainTimeout bounds how long close waits for the per-peer queues to
 // flush before force-closing connections and abandoning what remains.
 const (
-	defaultPeerQueueLen = 128
-	reconnectBase       = 10 * time.Millisecond
-	reconnectMax        = 2 * time.Second
-	drainTimeout        = time.Second
+	defaultPeerQueueLen   = 128
+	defaultPeerQueueBytes = 8 << 20
+	reconnectBase         = 10 * time.Millisecond
+	reconnectMax          = 2 * time.Second
+	drainTimeout          = time.Second
 )
+
+// queueConfig bounds one peer's outbound queue. Frames vary ~100x in
+// size (a digest heartbeat vs a full repair batch), so the queue is
+// budgeted in bytes as well as frames: eviction fires when either bound
+// is crossed. maxMsg, when positive, lets the writer coalesce queued
+// frames to the same peer into one frame up to that size on drain.
+type queueConfig struct {
+	frames int // 0 = defaultPeerQueueLen
+	bytes  int // 0 = defaultPeerQueueBytes
+	maxMsg int // 0 = no drain coalescing
+}
+
+func (q queueConfig) withDefaults() queueConfig {
+	if q.frames <= 0 {
+		q.frames = defaultPeerQueueLen
+	}
+	if q.bytes <= 0 {
+		q.bytes = defaultPeerQueueBytes
+	}
+	return q
+}
 
 // Per-peer pipeline connection states, reported by PeerStats.State.
 const (
@@ -46,17 +68,28 @@ const (
 )
 
 // PeerStats counts one outbound peer pipeline's work. Counters are
-// cumulative since the store started; State and Queued are a snapshot.
+// cumulative since the store started; State, Queued and QueuedBytes are
+// a snapshot.
 type PeerStats struct {
-	// Enqueued counts frames accepted into this peer's bounded queue.
-	Enqueued int
+	// Enqueued counts frames accepted into this peer's bounded queue;
+	// EnqueuedBytes their encoded payload bytes.
+	Enqueued      int
+	EnqueuedBytes int
 	// Dropped counts frames lost on the way to this peer: evicted by the
-	// drop-oldest overflow policy while the queue was full, or abandoned
-	// after a failed connection attempt or write error. Acked engines
-	// retransmit the lost deltas and digest anti-entropy repairs the
-	// rest; under the plain delta engine with digests disabled these
+	// drop-oldest overflow policy while the queue exceeded its frame or
+	// byte budget, or abandoned after a failed connection attempt or
+	// write error. DroppedBytes is the same ledger in bytes. Acked
+	// engines retransmit the lost deltas and digest anti-entropy repairs
+	// the rest; under the plain delta engine with digests disabled these
 	// frames are gone for good.
-	Dropped int
+	Dropped      int
+	DroppedBytes int
+	// Coalesced counts queued frames merged into an earlier frame to the
+	// same peer on drain, incremented only once the merged write lands:
+	// their bytes reached the wire minus the saved per-frame headers —
+	// only their frame identity disappeared. A coalition whose write
+	// fails counts in Dropped instead.
+	Coalesced int
 	// Reconnects counts successful connection establishments after a
 	// failure (the first connect is not a reconnect).
 	Reconnects int
@@ -64,17 +97,18 @@ type PeerStats struct {
 	// or PeerBackoff. Cleared by StoreStats.Add — states from different
 	// stores are not additive.
 	State string
-	// Queued is the queue depth at snapshot time.
-	Queued int
+	// Queued is the queue depth at snapshot time, in frames and bytes.
+	Queued      int
+	QueuedBytes int
 }
 
 // peerConn is one peer's outbound pipeline: a bounded frame queue feeding
 // a dedicated writer goroutine that owns the connection, dials it lazily,
 // and re-establishes it with capped exponential backoff after failures.
 // transmit is a non-blocking enqueue, so a stalled or dead peer can never
-// delay frames to healthy peers; when the queue overflows the oldest
-// frame is evicted (newest data wins — it subsumes what an eventual
-// digest repair would reship anyway).
+// delay frames to healthy peers; when the queue exceeds its frame or byte
+// budget the oldest frame is evicted (newest data wins — it subsumes what
+// an eventual digest repair would reship anyway).
 type peerConn struct {
 	id   string
 	addr string
@@ -83,7 +117,8 @@ type peerConn struct {
 	mu         sync.Mutex
 	cond       *sync.Cond // signals queue growth and drain start
 	queue      [][]byte
-	qcap       int
+	qbytes     int // sum of queued frame lengths
+	qcfg       queueConfig
 	closed     bool // no further enqueues; writer exits once drained
 	conn       net.Conn
 	state      string
@@ -92,9 +127,12 @@ type peerConn struct {
 	stats      PeerStats
 }
 
-// enqueue appends one frame, evicting the oldest queued frame when the
-// queue is full. It never blocks: overflow is data loss for the engines
-// or digest anti-entropy to repair, not backpressure onto the sync tick.
+// enqueue appends one frame, evicting oldest queued frames while either
+// the frame-count cap or the byte budget is exceeded — except the frame
+// just enqueued, so one frame above the byte budget still ships instead
+// of wedging the pipeline. It never blocks: overflow is data loss for the
+// engines or digest anti-entropy to repair, not backpressure onto the
+// sync tick.
 func (pc *peerConn) enqueue(data []byte) {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
@@ -102,17 +140,23 @@ func (pc *peerConn) enqueue(data []byte) {
 		return
 	}
 	pc.stats.Enqueued++
-	if len(pc.queue) >= pc.qcap {
+	pc.stats.EnqueuedBytes += len(data)
+	pc.queue = append(pc.queue, data)
+	pc.qbytes += len(data)
+	for len(pc.queue) > 1 && (len(pc.queue) > pc.qcfg.frames || pc.qbytes > pc.qcfg.bytes) {
+		old := pc.queue[0]
 		pc.queue[0] = nil
 		pc.queue = pc.queue[1:]
+		pc.qbytes -= len(old)
 		pc.stats.Dropped++
+		pc.stats.DroppedBytes += len(old)
 	}
-	pc.queue = append(pc.queue, data)
 	pc.cond.Signal()
 }
 
-// run is the writer goroutine: it drains the queue one frame at a time
-// until the pipeline is closed and empty, or hard-stopped.
+// run is the writer goroutine: it drains the queue — coalescing queued
+// frames to this peer into one when they fit the cap — until the pipeline
+// is closed and empty, or hard-stopped.
 func (pc *peerConn) run() {
 	defer pc.p.writers.Done()
 	for {
@@ -126,7 +170,25 @@ func (pc *peerConn) run() {
 			pc.mu.Unlock()
 			return
 		}
-		pc.write(frame)
+		batch, bytes := pc.coalesceBatch(frame)
+		if len(batch) == 1 {
+			pc.write(frame, 1, len(frame))
+			continue
+		}
+		if merged, ok := codec.MergeSharded(batch); ok {
+			// Coalesced counts only after the write lands: a merged
+			// coalition that dies on the way out is Dropped, not both.
+			if pc.write(merged, len(batch), bytes) {
+				pc.addCoalesced(len(batch) - 1)
+			}
+			continue
+		}
+		// Unreachable — every batch member passed CanMergeSharded, the
+		// exact predicate MergeSharded applies — but a refusal must ship
+		// the popped frames individually, never lose them.
+		for _, f := range batch {
+			pc.write(f, 1, len(f))
+		}
 	}
 }
 
@@ -143,7 +205,49 @@ func (pc *peerConn) next() ([]byte, bool) {
 	f := pc.queue[0]
 	pc.queue[0] = nil
 	pc.queue = pc.queue[1:]
+	pc.qbytes -= len(f)
 	return f, true
+}
+
+// coalesceBatch pops the run of queued frames that can merge with frame —
+// plain sharded data frames whose summed length stays within the frame
+// cap — so the caller can splice them into one frame (one header and one
+// syscall instead of k). Digest-carrying frames never merge. The actual
+// byte splicing happens outside the queue lock: merging is O(bytes) work
+// that must not delay a concurrent transmit's enqueue. Coalescing only
+// happens on an established connection — against a down peer each attempt
+// must keep costing exactly one queued frame, not a whole merged
+// coalition per failed dial. bytes is the enqueued length the batch
+// represents: a failed write drops the whole coalition from the
+// accounting, not one frame of it.
+func (pc *peerConn) coalesceBatch(frame []byte) (batch [][]byte, bytes int) {
+	batch, bytes = [][]byte{frame}, len(frame)
+	if pc.qcfg.maxMsg <= 0 || !codec.CanMergeSharded(frame) {
+		return batch, bytes
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if pc.conn == nil {
+		return batch, bytes
+	}
+	total := len(frame)
+	for len(pc.queue) > 0 && total+len(pc.queue[0]) <= pc.qcfg.maxMsg &&
+		codec.CanMergeSharded(pc.queue[0]) {
+		next := pc.queue[0]
+		pc.queue[0] = nil
+		pc.queue = pc.queue[1:]
+		pc.qbytes -= len(next)
+		batch = append(batch, next)
+		total += len(next)
+		bytes += len(next)
+	}
+	return batch, bytes
+}
+
+func (pc *peerConn) addCoalesced(n int) {
+	pc.mu.Lock()
+	pc.stats.Coalesced += n
+	pc.mu.Unlock()
 }
 
 func (pc *peerConn) hardStopped() bool {
@@ -155,24 +259,27 @@ func (pc *peerConn) hardStopped() bool {
 	}
 }
 
-// write ships one frame, establishing the connection if needed. A failed
-// dial or write drops the frame (counted per peer, same as overflow) and
-// backs off before the next attempt, so a down peer costs one queued
-// frame per attempt instead of wedging the writer on the oldest frame
-// while drop-oldest evicts everything newer behind it.
-func (pc *peerConn) write(frame []byte) {
+// write ships one (possibly coalesced) frame, establishing the connection
+// if needed, and reports whether it landed. A failed dial or write drops
+// the frame (counted per peer, same as overflow — frames and bytes name
+// the enqueued frames it represents) and backs off before the next
+// attempt, so a down peer costs one queued frame per attempt instead of
+// wedging the writer on the oldest frame while drop-oldest evicts
+// everything newer behind it.
+func (pc *peerConn) write(frame []byte, frames, bytes int) bool {
 	conn := pc.ensureConn()
 	if conn == nil {
-		pc.dropFrame()
-		return
+		pc.dropFrames(frames, bytes)
+		return false
 	}
 	if err := writeFrame(conn, pc.p.id, frame); err != nil {
 		pc.disconnect(conn)
-		pc.dropFrame()
+		pc.dropFrames(frames, bytes)
 		pc.sleepBackoff()
-		return
+		return false
 	}
 	pc.markHealthy()
+	return true
 }
 
 // markHealthy resets the backoff after a successful write — not after a
@@ -226,9 +333,10 @@ func (pc *peerConn) disconnect(conn net.Conn) {
 	}
 }
 
-func (pc *peerConn) dropFrame() {
+func (pc *peerConn) dropFrames(frames, bytes int) {
 	pc.mu.Lock()
-	pc.stats.Dropped++
+	pc.stats.Dropped += frames
+	pc.stats.DroppedBytes += bytes
 	pc.mu.Unlock()
 }
 
@@ -264,6 +372,7 @@ func (pc *peerConn) snapshot() PeerStats {
 	s := pc.stats
 	s.State = pc.state
 	s.Queued = len(pc.queue)
+	s.QueuedBytes = pc.qbytes
 	return s
 }
 
@@ -287,13 +396,11 @@ type peerNet struct {
 	writers  sync.WaitGroup // peerConn writer goroutines
 }
 
-func newPeerNet(id string, peers map[string]string, ln net.Listener, dial DialFunc, queueLen int) *peerNet {
+func newPeerNet(id string, peers map[string]string, ln net.Listener, dial DialFunc, qcfg queueConfig) *peerNet {
 	if dial == nil {
 		dial = defaultDial
 	}
-	if queueLen <= 0 {
-		queueLen = defaultPeerQueueLen
-	}
+	qcfg = qcfg.withDefaults()
 	p := &peerNet{
 		id:       id,
 		dial:     dial,
@@ -304,7 +411,7 @@ func newPeerNet(id string, peers map[string]string, ln net.Listener, dial DialFu
 		hardStop: make(chan struct{}),
 	}
 	for pid, addr := range peers {
-		pc := &peerConn{id: pid, addr: addr, p: p, qcap: queueLen, state: PeerConnecting}
+		pc := &peerConn{id: pid, addr: addr, p: p, qcfg: qcfg, state: PeerConnecting}
 		pc.cond = sync.NewCond(&pc.mu)
 		p.peers[pid] = pc
 	}

@@ -13,23 +13,24 @@ import (
 // around a store's dialer (StoreConfig.Dial) it intercepts every outbound
 // frame; wrapped around its listener (StoreConfig.Listener) it intercepts
 // every inbound frame. Each direction has its own drop / duplicate /
-// delay policy, severing links entirely simulates partitions, and a
-// reorder-only mode shuffles frame order without ever losing one. Faults
-// act on whole frames — both wrappers reassemble the length-prefixed
-// framing — so injected loss looks like a lost message, never a torn byte
-// stream that would desynchronize the receiver's framing and kill the
-// connection.
+// delay / reorder policy, severing links entirely simulates partitions,
+// and ForPeer scopes any of the knobs to a single peer, overriding the
+// injector-wide rates for that peer only. Faults act on whole frames —
+// both wrappers reassemble the length-prefixed framing — so injected loss
+// looks like a lost message, never a torn byte stream that would
+// desynchronize the receiver's framing and kill the connection.
 //
 // All knobs are safe to change while connections are live: each frame
 // consults the current policy, so a partition heals on existing
 // connections without redialing.
 type Fault struct {
-	mu            sync.Mutex
-	rng           *rand.Rand
-	send, recv    faultPolicy
-	reorderRate   float64
-	reorderWindow time.Duration
-	sever         func(peer string) bool
+	mu          sync.Mutex
+	rng         *rand.Rand
+	send, recv  faultPolicy
+	sendReorder reorderPolicy
+	recvReorder reorderPolicy
+	perPeer     map[string]*peerOverride
+	sever       func(peer string) bool
 }
 
 // faultPolicy is one direction's frame-fate knobs.
@@ -37,6 +38,29 @@ type faultPolicy struct {
 	dropRate float64
 	dupRate  float64
 	delay    time.Duration
+}
+
+// reorderPolicy is one direction's reorder-only knobs: with probability
+// rate a frame is held for window while later frames pass it.
+type reorderPolicy struct {
+	rate   float64
+	window time.Duration
+}
+
+// knobOverride holds one peer's one-direction overrides; nil fields fall
+// back to the injector-wide policy, so scoping one knob to a peer leaves
+// its other knobs shared.
+type knobOverride struct {
+	dropRate      *float64
+	dupRate       *float64
+	delay         *time.Duration
+	reorderRate   *float64
+	reorderWindow *time.Duration
+}
+
+// peerOverride is one peer's two-direction overrides.
+type peerOverride struct {
+	send, recv knobOverride
 }
 
 // faultDir is the direction of a frame relative to the store whose
@@ -121,8 +145,19 @@ func (f *Fault) SetRecvDelay(d time.Duration) {
 func (f *Fault) SetReorder(r float64, window time.Duration) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	f.reorderRate = r
-	f.reorderWindow = window
+	f.sendReorder = reorderPolicy{rate: r, window: window}
+}
+
+// SetRecvReorder enables reorder-only mode on the receive side: each
+// surviving inbound frame is, with probability r, held aside for window
+// while frames behind it are delivered first. Unlike SetRecvDelay the
+// rest of the stream is not delayed with the held frame, so later frames
+// genuinely overtake it; like SetReorder, nothing is lost or duplicated
+// while the connection lives.
+func (f *Fault) SetRecvReorder(r float64, window time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.recvReorder = reorderPolicy{rate: r, window: window}
 }
 
 // SetSever installs a per-peer blackhole: while fn returns true for a
@@ -134,27 +169,125 @@ func (f *Fault) SetSever(fn func(peer string) bool) {
 	f.sever = fn
 }
 
-// decide rolls the fate of one frame to or from peer.
-func (f *Fault) decide(dir faultDir, peer string) (drop, dup bool, delay time.Duration) {
+// ForPeer returns a handle whose setters scope fault knobs to the one
+// peer, overriding the injector-wide rates for that peer only: a harness
+// can blackhole frames to a single neighbor of a wrapped store while its
+// other links stay clean, instead of every peer sharing one policy. Knobs
+// never set through the handle keep following the injector-wide values.
+func (f *Fault) ForPeer(id string) *PeerFault {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.perPeer == nil {
+		f.perPeer = make(map[string]*peerOverride)
+	}
+	o := f.perPeer[id]
+	if o == nil {
+		o = &peerOverride{}
+		f.perPeer[id] = o
+	}
+	return &PeerFault{f: f, o: o}
+}
+
+// PeerFault scopes fault knobs to one peer of the Fault it came from; the
+// setters mirror Fault's. Obtain one with ForPeer.
+type PeerFault struct {
+	f *Fault
+	o *peerOverride
+}
+
+func (pf *PeerFault) set(fn func(o *peerOverride)) {
+	pf.f.mu.Lock()
+	defer pf.f.mu.Unlock()
+	fn(pf.o)
+}
+
+// SetDropRate drops outbound frames to this peer with probability r.
+func (pf *PeerFault) SetDropRate(r float64) {
+	pf.set(func(o *peerOverride) { o.send.dropRate = &r })
+}
+
+// SetDupRate duplicates surviving outbound frames to this peer with
+// probability r.
+func (pf *PeerFault) SetDupRate(r float64) {
+	pf.set(func(o *peerOverride) { o.send.dupRate = &r })
+}
+
+// SetDelay holds surviving outbound frames to this peer for d.
+func (pf *PeerFault) SetDelay(d time.Duration) {
+	pf.set(func(o *peerOverride) { o.send.delay = &d })
+}
+
+// SetReorder holds outbound frames to this peer for window with
+// probability r while later frames pass.
+func (pf *PeerFault) SetReorder(r float64, window time.Duration) {
+	pf.set(func(o *peerOverride) { o.send.reorderRate = &r; o.send.reorderWindow = &window })
+}
+
+// SetRecvDropRate drops inbound frames from this peer with probability r.
+func (pf *PeerFault) SetRecvDropRate(r float64) {
+	pf.set(func(o *peerOverride) { o.recv.dropRate = &r })
+}
+
+// SetRecvDupRate duplicates surviving inbound frames from this peer with
+// probability r.
+func (pf *PeerFault) SetRecvDupRate(r float64) {
+	pf.set(func(o *peerOverride) { o.recv.dupRate = &r })
+}
+
+// SetRecvDelay holds surviving inbound frames from this peer for d.
+func (pf *PeerFault) SetRecvDelay(d time.Duration) {
+	pf.set(func(o *peerOverride) { o.recv.delay = &d })
+}
+
+// SetRecvReorder holds inbound frames from this peer aside for window
+// with probability r while frames behind them are delivered first.
+func (pf *PeerFault) SetRecvReorder(r float64, window time.Duration) {
+	pf.set(func(o *peerOverride) { o.recv.reorderRate = &r; o.recv.reorderWindow = &window })
+}
+
+// decide rolls the fate of one frame to or from peer: whether it is
+// dropped or duplicated, how long its whole stream is delayed, and how
+// long it alone is held aside for reorder.
+func (f *Fault) decide(dir faultDir, peer string) (drop, dup bool, delay, hold time.Duration) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.sever != nil && f.sever(peer) {
-		return true, false, 0
+		return true, false, 0, 0
 	}
-	pol := f.send
+	pol, ro := f.send, f.sendReorder
 	if dir == dirRecv {
-		pol = f.recv
+		pol, ro = f.recv, f.recvReorder
+	}
+	if o := f.perPeer[peer]; o != nil {
+		k := &o.send
+		if dir == dirRecv {
+			k = &o.recv
+		}
+		if k.dropRate != nil {
+			pol.dropRate = *k.dropRate
+		}
+		if k.dupRate != nil {
+			pol.dupRate = *k.dupRate
+		}
+		if k.delay != nil {
+			pol.delay = *k.delay
+		}
+		if k.reorderRate != nil {
+			ro.rate = *k.reorderRate
+		}
+		if k.reorderWindow != nil {
+			ro.window = *k.reorderWindow
+		}
 	}
 	drop = pol.dropRate > 0 && f.rng.Float64() < pol.dropRate
 	if !drop {
 		dup = pol.dupRate > 0 && f.rng.Float64() < pol.dupRate
 	}
 	delay = pol.delay
-	if dir == dirSend && !drop &&
-		f.reorderRate > 0 && f.rng.Float64() < f.reorderRate {
-		delay += f.reorderWindow
+	if !drop && ro.rate > 0 && f.rng.Float64() < ro.rate {
+		hold = ro.window
 	}
-	return drop, dup, delay
+	return drop, dup, delay, hold
 }
 
 // Dialer wraps base (nil for the default TCP dialer) so every connection
@@ -223,12 +356,16 @@ func (c *faultConn) Write(p []byte) (int, error) {
 	return len(p), nil
 }
 
-// writeFrame rolls one frame's fate and performs the surviving writes.
+// writeFrame rolls one frame's fate and performs the surviving writes. A
+// reorder hold behaves exactly like an extra delay here: delayed frames
+// are written from a timer goroutine, so later undelayed frames overtake
+// them.
 func (c *faultConn) writeFrame(frame []byte) error {
-	drop, dup, delay := c.fault.decide(dirSend, c.peer)
+	drop, dup, delay, hold := c.fault.decide(dirSend, c.peer)
 	if drop {
 		return nil
 	}
+	delay += hold
 	copies := 1
 	if dup {
 		copies = 2
@@ -266,43 +403,139 @@ func (l *faultListener) Accept() (net.Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &recvFaultConn{Conn: c, fault: l.fault}, nil
+	rc := &recvFaultConn{Conn: c, fault: l.fault}
+	rc.cond = sync.NewCond(&rc.mu)
+	return rc, nil
 }
 
 // recvFaultConn applies the receive-direction policy frame by frame on
-// the read side: whole frames are reassembled from the underlying stream
-// and only the survivors are re-emitted to the caller, so a dropped frame
-// looks exactly like one the sender never wrote. The sender id is peeked
-// from each frame for per-peer severing. A frame with a hostile length
-// prefix switches the connection to raw pass-through — the receiver's own
-// bounds check is about to kill it, and the injector must not hide that.
+// the read side. A pump goroutine (started on the first Read) reassembles
+// whole frames from the underlying stream, rolls each frame's fate, and
+// appends the survivors to an output buffer the caller's Reads drain: a
+// dropped frame looks exactly like one the sender never wrote, a delayed
+// frame holds the stream behind it, and a reorder-held frame is parked on
+// a timer while the pump keeps delivering the frames behind it — which is
+// what lets later frames genuinely overtake it on the receive side. The
+// sender id is peeked from each frame for per-peer policies and severing.
+// A frame with a hostile length prefix switches the connection to raw
+// pass-through — the receiver's own bounds check is about to kill it, and
+// the injector must not hide that.
 type recvFaultConn struct {
 	net.Conn
 	fault *Fault
-	buf   []byte // surviving bytes awaiting delivery
-	raw   bool
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	out     []byte // surviving bytes awaiting delivery to Read
+	err     error  // terminal pump error, delivered after out drains
+	closed  bool
+	started bool
 }
 
+// recvFaultBufCap is the soft bound on bytes buffered between the pump
+// and the caller's Reads: the pump stops reading the socket while the
+// consumer is more than this far behind, restoring the TCP backpressure
+// a pull-based reader would exert. Reorder-held frames released by their
+// timers may exceed it briefly (a timer cannot block), bounded by what
+// the windows hold.
+const recvFaultBufCap = 1 << 20
+
 func (c *recvFaultConn) Read(p []byte) (int, error) {
-	if c.raw && len(c.buf) == 0 {
-		return c.Conn.Read(p)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.started {
+		c.started = true
+		go c.pump()
 	}
-	for len(c.buf) == 0 {
+	for len(c.out) == 0 && c.err == nil {
+		c.cond.Wait()
+	}
+	if len(c.out) == 0 {
+		return 0, c.err
+	}
+	n := copy(p, c.out)
+	c.out = c.out[n:]
+	// The drain may have opened room for a pump parked at the cap.
+	c.cond.Broadcast()
+	return n, nil
+}
+
+// Close tears the connection down and wakes both the pump (possibly
+// parked waiting for buffer room) and any waiting Read.
+func (c *recvFaultConn) Close() error {
+	err := c.Conn.Close()
+	c.mu.Lock()
+	c.closed = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	return err
+}
+
+// push appends bytes to the output buffer and wakes a waiting Read.
+func (c *recvFaultConn) push(b []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.out = append(c.out, b...)
+	c.cond.Broadcast()
+}
+
+// waitRoom parks the pump while the consumer is recvFaultBufCap behind.
+func (c *recvFaultConn) waitRoom() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.out) > recvFaultBufCap && c.err == nil && !c.closed {
+		c.cond.Wait()
+	}
+}
+
+// fail records the pump's terminal error and wakes waiting Reads. Frames
+// still parked on reorder timers may land after it; a Read drains
+// whatever arrived before returning the error, and anything later is
+// in-flight loss at connection teardown — the same caveat as send-side
+// reorder.
+func (c *recvFaultConn) fail(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err == nil {
+		c.err = err
+	}
+	c.cond.Broadcast()
+}
+
+// pump reads frames off the underlying connection and decides their fate
+// until the stream ends.
+func (c *recvFaultConn) pump() {
+	for {
+		c.waitRoom()
 		var hdr [4]byte
 		if _, err := io.ReadFull(c.Conn, hdr[:]); err != nil {
-			return 0, err
+			c.fail(err)
+			return
 		}
 		total := binary.BigEndian.Uint32(hdr[:])
 		if total > maxFrameBytes {
-			c.raw = true
-			c.buf = append(c.buf, hdr[:]...)
-			break
+			// Hostile length prefix: stop interpreting the stream and
+			// pass the rest through raw.
+			c.push(hdr[:])
+			buf := make([]byte, 32<<10)
+			for {
+				c.waitRoom()
+				n, err := c.Conn.Read(buf)
+				if n > 0 {
+					c.push(buf[:n])
+				}
+				if err != nil {
+					c.fail(err)
+					return
+				}
+			}
 		}
 		body := make([]byte, total)
 		if _, err := io.ReadFull(c.Conn, body); err != nil {
-			return 0, err
+			c.fail(err)
+			return
 		}
-		drop, dup, delay := c.fault.decide(dirRecv, peerFromFrame(body))
+		drop, dup, delay, hold := c.fault.decide(dirRecv, peerFromFrame(body))
 		if drop {
 			continue
 		}
@@ -315,14 +548,19 @@ func (c *recvFaultConn) Read(p []byte) (int, error) {
 		if dup {
 			copies = 2
 		}
+		frame := make([]byte, 0, copies*(4+len(body)))
 		for i := 0; i < copies; i++ {
-			c.buf = append(c.buf, hdr[:]...)
-			c.buf = append(c.buf, body...)
+			frame = append(frame, hdr[:]...)
+			frame = append(frame, body...)
 		}
+		if hold > 0 {
+			// Parked aside while the pump keeps going: the frames behind
+			// this one overtake it.
+			time.AfterFunc(hold, func() { c.push(frame) })
+			continue
+		}
+		c.push(frame)
 	}
-	n := copy(p, c.buf)
-	c.buf = c.buf[n:]
-	return n, nil
 }
 
 // peerFromFrame extracts the sender id from a frame body (2-byte length

@@ -220,6 +220,88 @@ func TestFaultReorderOnlyIsLossless(t *testing.T) {
 	}
 }
 
+// TestFaultRecvReorderOnlyIsLossless pins receive-side reorder: half of
+// all inbound frames are parked for 5ms while the frames behind them are
+// delivered first — reordering on the receive path, which SetReorder
+// (send-only) could not produce and SetRecvDelay cannot either (it holds
+// the whole stream back, preserving order). The cluster runs the plain
+// delta engine with digests DISABLED — no repair path whatsoever — so
+// exact convergence is only possible if recv reorder truly never drops or
+// duplicates a frame.
+func TestFaultRecvReorderOnlyIsLossless(t *testing.T) {
+	const keys = 80
+	fault := transport.NewFault(13)
+	fault.SetRecvReorder(0.5, 5*time.Millisecond)
+	stores := startStoreClusterWith(t, 2, transport.StoreConfig{
+		Shards:      8,
+		Factory:     protocol.NewDeltaBPRR(),
+		ObjType:     gcounters,
+		SyncEvery:   10 * time.Millisecond,
+		DigestEvery: 0, // no repair path: loss would be permanent divergence
+	}, func(i int, id string, cfg *transport.StoreConfig) {
+		cfg.Listener = fault.Listener(cfg.Listener)
+	})
+	for k := 0; k < keys; k++ {
+		stores[k%2].Update(workload.Op{Kind: workload.KindInc, Key: fmt.Sprintf("key-%03d", k), N: 2})
+		if k%8 == 7 {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	if err := transport.WaitConverged(stores, keys, 60*time.Second, nil); err != nil {
+		t.Fatalf("recv-reorder faults lost or duplicated a frame: %v", err)
+	}
+	for k := 0; k < keys; k++ {
+		key := fmt.Sprintf("key-%03d", k)
+		for _, st := range stores {
+			if v := st.Get(key).(*crdt.GCounter).Value(); v != 2 {
+				t.Errorf("%s on %s = %d, want 2", key, st.ID(), v)
+			}
+		}
+	}
+}
+
+// TestFaultPerPeerOverrideBlackholesOnePeer drives ForPeer end to end:
+// with only the override (global rates untouched) blackholing s-00's
+// frames to s-01, nothing s-00 says arrives — the plain delta engine
+// clears its buffers, so only digest repair could ever recover — and
+// clearing the override through the same handle heals the link live.
+func TestFaultPerPeerOverrideBlackholesOnePeer(t *testing.T) {
+	const keys = 30
+	fault := transport.NewFault(19)
+	fault.ForPeer("s-01").SetDropRate(1)
+	stores := startStoreClusterWith(t, 2, transport.StoreConfig{
+		Shards:      8,
+		Factory:     protocol.NewDeltaBPRR(),
+		ObjType:     gcounters,
+		SyncEvery:   10 * time.Millisecond,
+		DigestEvery: 2,
+	}, func(i int, id string, cfg *transport.StoreConfig) {
+		if id == "s-00" {
+			cfg.Dial = fault.Dialer(nil)
+		}
+	})
+	for k := 0; k < keys; k++ {
+		stores[0].Update(workload.Op{Kind: workload.KindInc, Key: fmt.Sprintf("key-%03d", k), N: 1})
+	}
+	// The override must hold: s-01 hears nothing, despite its own digest
+	// advertisements making s-00 ask for every shard (the Want replies
+	// are s-00 frames too, and die on the same override).
+	time.Sleep(300 * time.Millisecond)
+	if got := stores[1].NumKeys(); got != 0 {
+		t.Fatalf("per-peer blackhole leaked: s-01 holds %d keys", got)
+	}
+	fault.ForPeer("s-01").SetDropRate(0)
+	if err := transport.WaitConverged(stores, keys, 60*time.Second, nil); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < keys; k++ {
+		key := fmt.Sprintf("key-%03d", k)
+		if v := stores[1].Get(key).(*crdt.GCounter).Value(); v != 1 {
+			t.Errorf("%s on s-01 = %d, want 1", key, v)
+		}
+	}
+}
+
 // TestFaultRecvDropIsPerDirection proves send and receive policies are
 // independent: with s-00's receive side a total blackhole, everything
 // s-00 says still reaches s-01, while s-00 itself learns nothing — and

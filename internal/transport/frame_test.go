@@ -67,7 +67,7 @@ func TestTransmitToUnknownPeerIsDropped(t *testing.T) {
 	// rather than panicking or blocking; Node and Store drop the frame.
 	// There is no write pipeline for an unknown peer — pipelines are
 	// fixed at construction.
-	p := newPeerNet("a", map[string]string{}, nil, nil, 0)
+	p := newPeerNet("a", map[string]string{}, nil, nil, queueConfig{})
 	if err := p.transmit("stranger", []byte("x")); err == nil {
 		t.Error("transmit to unknown peer should fail")
 	}

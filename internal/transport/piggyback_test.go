@@ -1,0 +1,135 @@
+package transport_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"crdtsync/internal/crdt"
+	"crdtsync/internal/protocol"
+	"crdtsync/internal/transport"
+	"crdtsync/internal/workload"
+)
+
+// TestStorePiggybackedDigestsReplaceHeartbeats pins the frame economics
+// of digest piggybacking: while a store has data to ship, every digest
+// advertisement rides a data frame (PiggybackedDigests) and no standalone
+// heartbeat goes out; once the store falls idle, the advertisement falls
+// back to the standalone DigestMsg heartbeat (DigestFrames). Before
+// piggybacking, the busy phase paid one extra frame per digest tick.
+func TestStorePiggybackedDigestsReplaceHeartbeats(t *testing.T) {
+	stores, err := transport.LoopbackCluster(2, transport.StoreConfig{
+		ID:          "s",
+		Shards:      8,
+		Factory:     protocol.NewDeltaBPRR(),
+		ObjType:     gcounters,
+		SyncEvery:   time.Hour, // ticks driven manually
+		DigestEvery: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range stores {
+		st := st
+		t.Cleanup(func() { st.Close() })
+	}
+
+	// Busy phase: every tick carries fresh data, so every digest
+	// advertisement piggybacks and no standalone heartbeat is sent.
+	const busyTicks = 10
+	for i := 0; i < busyTicks; i++ {
+		stores[0].Update(workload.Op{Kind: workload.KindInc, Key: fmt.Sprintf("key-%03d", i), N: 1})
+		stores[0].SyncNow()
+	}
+	busy := stores[0].Stats()
+	if busy.PiggybackedDigests != busyTicks {
+		t.Errorf("busy phase piggybacked %d digests, want %d (one per tick)", busy.PiggybackedDigests, busyTicks)
+	}
+	if busy.DigestFrames != 0 {
+		t.Errorf("busy phase sent %d standalone digest frames, want 0: piggybacking should replace them", busy.DigestFrames)
+	}
+	waitStoresConverged(t, stores, busyTicks, 10*time.Second)
+
+	// Idle phase: nothing to ship, so the advertisement falls back to the
+	// standalone heartbeat — exactly one frame per tick, nothing else.
+	// (One dirty-revisit tick may still flush residual data first.)
+	stores[0].SyncNow()
+	base := stores[0].Stats()
+	const idleTicks = 10
+	for i := 0; i < idleTicks; i++ {
+		stores[0].SyncNow()
+	}
+	idle := stores[0].Stats()
+	if got := idle.DigestFrames - base.DigestFrames; got != idleTicks {
+		t.Errorf("idle phase sent %d standalone heartbeats, want %d", got, idleTicks)
+	}
+	if idle.PiggybackedDigests != base.PiggybackedDigests {
+		t.Errorf("idle phase piggybacked %d digests, want 0", idle.PiggybackedDigests-base.PiggybackedDigests)
+	}
+	if got := idle.Frames - base.Frames; got != idleTicks {
+		t.Errorf("idle phase sent %d frames, want %d heartbeats only", got, idleTicks)
+	}
+}
+
+// TestStorePiggybackedDigestRepairsDivergence proves the piggybacked
+// vector is a full citizen of the anti-entropy protocol: a receiver
+// processes it exactly like a standalone advertisement, requesting and
+// repairing diverged shards — here without a single standalone
+// advertisement ever being sent by the diverged store.
+func TestStorePiggybackedDigestRepairsDivergence(t *testing.T) {
+	const keys = 20
+	fault := transport.NewFault(17)
+	fault.SetDropRate(1) // black hole while loading
+	stores := startStoreClusterWith(t, 2, transport.StoreConfig{
+		Shards:      8,
+		Factory:     protocol.NewDeltaBPRR(),
+		ObjType:     gcounters,
+		SyncEvery:   time.Hour, // ticks driven manually
+		DigestEvery: 1,
+	}, func(i int, id string, cfg *transport.StoreConfig) {
+		if id == "s-00" {
+			cfg.Dial = fault.Dialer(nil)
+		}
+	})
+	s0, s1 := stores[0], stores[1]
+
+	// Load into the black hole: the plain delta engine clears its
+	// δ-buffer after sending, so s1 can only ever learn these keys
+	// through digest repair.
+	for k := 0; k < keys; k++ {
+		s0.Update(workload.Op{Kind: workload.KindInc, Key: fmt.Sprintf("key-%03d", k), N: 1})
+	}
+	s0.SyncNow()
+	s0.SyncNow()
+	waitQueuesDrained(t, s0, 10*time.Second)
+	if got := s1.NumKeys(); got != 0 {
+		t.Fatalf("black hole leaked: s1 holds %d keys", got)
+	}
+
+	// Heal, then make one fresh update: the single data frame it produces
+	// carries the digest vector, and that piggybacked advertisement alone
+	// must drive the full repair.
+	fault.SetDropRate(0)
+	base := s0.Stats()
+	s0.Update(workload.Op{Kind: workload.KindInc, Key: "fresh", N: 1})
+	s0.SyncNow()
+	if err := transport.WaitConverged(stores, keys+1, 30*time.Second, nil); err != nil {
+		t.Fatal(err)
+	}
+	after := s0.Stats()
+	if got := after.DigestFrames - base.DigestFrames; got != 0 {
+		t.Errorf("repair used %d standalone advertisements, want 0 (piggyback only)", got)
+	}
+	if got := after.PiggybackedDigests - base.PiggybackedDigests; got == 0 {
+		t.Error("healed tick sent no piggybacked digest")
+	}
+	if got := after.RepairShards - base.RepairShards; got == 0 {
+		t.Error("piggybacked advertisement triggered no shard repair")
+	}
+	for k := 0; k < keys; k++ {
+		key := fmt.Sprintf("key-%03d", k)
+		if v := s1.Get(key).(*crdt.GCounter).Value(); v != 1 {
+			t.Errorf("%s on s-01 = %d, want 1", key, v)
+		}
+	}
+}

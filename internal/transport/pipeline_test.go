@@ -153,10 +153,13 @@ func TestStoreSlowPeerIsolation(t *testing.T) {
 			i, time.Since(start).Round(time.Millisecond), sickDelay)
 	}
 
-	// Keep loading until the sick link's queue has demonstrably
-	// overflowed, then stop the writers.
+	// Keep loading until both healthy stores' sick links have demonstrably
+	// overflowed, then stop the writers. (Both, not just s-00: with digest
+	// piggybacking the healthy stores no longer pad their queues with
+	// standalone heartbeat frames, so s-01's slower relay traffic needs a
+	// few more ticks than s-00's direct writes to fill a 4-deep queue.)
 	for deadline := time.Now().Add(20 * time.Second); ; {
-		if stores[0].Stats().Peers["s-02"].Dropped > 0 {
+		if stores[0].Stats().Peers["s-02"].Dropped > 0 && stores[1].Stats().Peers["s-02"].Dropped > 0 {
 			break
 		}
 		if time.Now().After(deadline) {
@@ -296,6 +299,150 @@ func TestStoreQueueOverflowReconnectAndRepair(t *testing.T) {
 			if v := got.(*crdt.GCounter).Value(); v != 1 {
 				t.Errorf("%s on %s = %d, want 1", key, st.ID(), v)
 			}
+		}
+	}
+}
+
+// TestStoreByteBudgetedQueueInvariant pins the byte half of the bounded
+// queue: frames vary ~100x in size, so against an unreachable peer the
+// pipeline must keep at most PeerQueueBytes + one frame of enqueued bytes
+// alive (everything older evicted by bytes and counted in DroppedBytes),
+// whatever the frame count says — and once the peer heals, drain plus
+// digest repair still reach exact convergence.
+func TestStoreByteBudgetedQueueInvariant(t *testing.T) {
+	const (
+		keys     = 80
+		budget   = 4 << 10
+		maxFrame = 1 << 10
+	)
+	var down atomic.Bool
+	down.Store(true)
+	failDial := func(id, addr string) (net.Conn, error) {
+		if down.Load() {
+			return nil, fmt.Errorf("injected: %s unreachable", id)
+		}
+		return net.DialTimeout("tcp", addr, 2*time.Second)
+	}
+	stores := startStoreClusterWith(t, 2, transport.StoreConfig{
+		Shards:         8,
+		Factory:        protocol.NewDeltaBPRR(),
+		ObjType:        gcounters,
+		DigestEvery:    2,
+		SyncEvery:      10 * time.Millisecond,
+		MaxFrameBytes:  maxFrame,
+		PeerQueueBytes: budget,
+	}, func(i int, id string, cfg *transport.StoreConfig) {
+		if id == "s-00" {
+			cfg.Dial = failDial
+		}
+	})
+
+	// Load over many ticks so plenty of frames of real size hit the dead
+	// pipeline, then watch the ledger: the byte budget must bind long
+	// before the 128-frame count cap does.
+	checkInvariant := func(ps transport.PeerStats) {
+		t.Helper()
+		if alive := ps.EnqueuedBytes - ps.DroppedBytes; alive > budget+maxFrame {
+			t.Fatalf("byte accounting leak: %d bytes alive (enqueued %d, dropped %d, budget %d + frame %d)",
+				alive, ps.EnqueuedBytes, ps.DroppedBytes, budget, maxFrame)
+		}
+		if ps.QueuedBytes > budget+maxFrame {
+			t.Fatalf("queue holds %d bytes, budget %d + frame %d", ps.QueuedBytes, budget, maxFrame)
+		}
+	}
+	for k := 0; k < keys; k++ {
+		stores[0].Update(workload.Op{Kind: workload.KindInc, Key: fmt.Sprintf("key-%03d", k), N: 1})
+		if k%8 == 7 {
+			time.Sleep(10 * time.Millisecond)
+			checkInvariant(stores[0].Stats().Peers["s-01"])
+		}
+	}
+	var ps transport.PeerStats
+	for deadline := time.Now().Add(20 * time.Second); ; {
+		ps = stores[0].Stats().Peers["s-01"]
+		checkInvariant(ps)
+		if ps.DroppedBytes > 0 && ps.EnqueuedBytes > budget {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("byte budget never bound: %+v", ps)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if ps.Dropped >= ps.Enqueued {
+		t.Fatalf("every frame dropped (%d of %d): eviction must spare the newest", ps.Dropped, ps.Enqueued)
+	}
+
+	// Heal: drain, digest repair, exact convergence.
+	down.Store(false)
+	if err := transport.WaitConverged(stores, keys, 60*time.Second, nil); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < keys; k++ {
+		key := fmt.Sprintf("key-%03d", k)
+		if v := stores[1].Get(key).(*crdt.GCounter).Value(); v != 1 {
+			t.Errorf("%s on s-01 = %d, want 1", key, v)
+		}
+	}
+}
+
+// gateConn blocks every write until the gate channel is closed, modeling
+// a peer that accepts the connection but does not make progress; frames
+// pile up in the sender's queue behind the blocked one.
+type gateConn struct {
+	net.Conn
+	gate <-chan struct{}
+}
+
+func (c *gateConn) Write(p []byte) (int, error) {
+	<-c.gate
+	return c.Conn.Write(p)
+}
+
+// TestStoreDrainCoalescesQueuedFrames pins drain coalescing: data frames
+// that piled up behind a blocked write go out merged into fewer, larger
+// frames once the link unblocks (counted per peer in Coalesced), and the
+// receiver decodes the merged frame into exactly the original updates.
+func TestStoreDrainCoalescesQueuedFrames(t *testing.T) {
+	const ticks = 6
+	gate := make(chan struct{})
+	gatedDial := func(id, addr string) (net.Conn, error) {
+		c, err := net.DialTimeout("tcp", addr, 2*time.Second)
+		if err != nil {
+			return nil, err
+		}
+		return &gateConn{Conn: c, gate: gate}, nil
+	}
+	stores := startStoreClusterWith(t, 2, transport.StoreConfig{
+		Shards:    8,
+		Factory:   protocol.NewDeltaBPRR(),
+		ObjType:   gcounters,
+		SyncEvery: time.Hour, // ticks driven manually
+	}, func(i int, id string, cfg *transport.StoreConfig) {
+		if id == "s-00" {
+			cfg.Dial = gatedDial
+		}
+	})
+
+	// Each tick enqueues one data frame; the writer blocks on the first,
+	// so the rest are queued when the gate opens.
+	for i := 0; i < ticks; i++ {
+		stores[0].Update(workload.Op{Kind: workload.KindInc, Key: fmt.Sprintf("key-%03d", i), N: 1})
+		stores[0].SyncNow()
+	}
+	close(gate)
+	waitStoresConverged(t, stores, ticks, 10*time.Second)
+	ps := stores[0].Stats().Peers["s-01"]
+	if ps.Coalesced == 0 {
+		t.Errorf("drain coalesced no frames (enqueued %d): the backlog went out frame by frame", ps.Enqueued)
+	}
+	if ps.Dropped != 0 {
+		t.Errorf("coalescing dropped %d frames, want 0: merging must be lossless", ps.Dropped)
+	}
+	for i := 0; i < ticks; i++ {
+		key := fmt.Sprintf("key-%03d", i)
+		if v := stores[1].Get(key).(*crdt.GCounter).Value(); v != 1 {
+			t.Errorf("%s on s-01 = %d, want 1", key, v)
 		}
 	}
 }

@@ -44,13 +44,20 @@ type StoreConfig struct {
 	ObjType func(key string) workload.Datatype
 	// SyncEvery is the synchronization period (default 1s).
 	SyncEvery time.Duration
-	// PeerQueueLen bounds each peer's outbound frame queue (default
-	// 128). transmit is a non-blocking enqueue onto a per-peer writer
-	// goroutine, so a stalled peer delays only its own frames; when a
-	// queue fills, the oldest queued frame is evicted (drop-oldest) and
-	// counted in Stats().Peers — acked engines retransmit the loss and
-	// digest anti-entropy repairs the rest.
+	// PeerQueueLen bounds each peer's outbound queue by frame count
+	// (default 128). transmit is a non-blocking enqueue onto a per-peer
+	// writer goroutine, so a stalled peer delays only its own frames;
+	// when a queue exceeds either bound, the oldest queued frame is
+	// evicted (drop-oldest) and counted in Stats().Peers — acked engines
+	// retransmit the loss and digest anti-entropy repairs the rest.
 	PeerQueueLen int
+	// PeerQueueBytes bounds each peer's outbound queue by encoded bytes
+	// (default 8 MiB). Frames vary ~100x in size, so a count bound alone
+	// budgets almost nothing: 128 heartbeats are a few KiB while 128 full
+	// batches can be GiBs. Eviction keeps the queue within whichever
+	// bound it crosses first, always sparing the newest frame so an
+	// over-budget frame is still shipped rather than wedged.
+	PeerQueueBytes int
 	// DigestEvery enables digest anti-entropy: every DigestEvery-th sync
 	// tick the store also ships its per-shard digest vector to every
 	// peer; a peer whose digests differ requests those shards in full.
@@ -60,10 +67,16 @@ type StoreConfig struct {
 	// 0 disables digests (delta traffic only).
 	DigestEvery int
 	// MaxFrameBytes caps the encoded size of one data frame; a sync tick
-	// whose batch exceeds it is split into multiple frames. 0 or
+	// whose batch exceeds it is packed into multiple bounded frames. 0 or
 	// anything above the transport-wide maximum means the 64 MiB
-	// transport cap. Tests lower it to exercise splitting cheaply.
+	// transport cap. Tests lower it to exercise packing cheaply.
 	MaxFrameBytes int
+	// NoDigestPiggyback disables merging the digest advertisement into
+	// outgoing data frames: every advertisement rides its own DigestMsg
+	// frame, as it did before piggybacking existed. A measurement knob
+	// (syncbench -no-piggyback compares the two), not a production
+	// setting.
+	NoDigestPiggyback bool
 }
 
 // StoreStats counts what a store has put on the wire.
@@ -72,9 +85,14 @@ type StoreStats struct {
 	Frames int
 	// WireBytes is the total bytes written, including frame headers.
 	WireBytes int
-	// DigestFrames counts the digest advertisement and request frames
-	// within Frames; the rest carry data.
+	// DigestFrames counts the standalone digest frames within Frames —
+	// advertisement heartbeats that found no data frame to ride and
+	// shard-request replies; the rest carry data.
 	DigestFrames int
+	// PiggybackedDigests counts data frames that additionally carried the
+	// per-shard digest vector: advertisements that would each have been a
+	// standalone DigestFrame without piggybacking.
+	PiggybackedDigests int
 	// SplitFrames counts the frames that are pieces of a split batch:
 	// a tick whose batch overflowed the cap and went out as k bounded
 	// frames adds k here (0 when every batch fit in one frame).
@@ -94,11 +112,14 @@ type StoreStats struct {
 	RepairShards int
 	// Sent is the aggregated protocol-level transmission accounting.
 	Sent metrics.Transmission
-	// Peers holds the per-peer write-pipeline accounting: frames
-	// enqueued toward each peer, frames dropped (queue overflow or
-	// failed sends), reconnects, and the pipeline's connection state.
-	// Frames/WireBytes above count at enqueue time; Peers is where a
-	// stalled or dead peer's losses become visible.
+	// Peers holds the per-peer write-pipeline accounting: frames and
+	// bytes enqueued toward each peer, frames and bytes dropped (queue
+	// overflow or failed sends), frames coalesced on drain, reconnects,
+	// and the pipeline's connection state. Frames/WireBytes above count
+	// at enqueue time: frames later dropped by a sick pipeline, and the
+	// per-frame headers saved when a drained backlog is coalesced, never
+	// reach the wire even though they are counted here — Peers is where
+	// both corrections are visible (Dropped/DroppedBytes, Coalesced).
 	Peers map[string]PeerStats
 }
 
@@ -109,6 +130,7 @@ func (s *StoreStats) Add(o StoreStats) {
 	s.Frames += o.Frames
 	s.WireBytes += o.WireBytes
 	s.DigestFrames += o.DigestFrames
+	s.PiggybackedDigests += o.PiggybackedDigests
 	s.SplitFrames += o.SplitFrames
 	s.OversizedDropped += o.OversizedDropped
 	s.WantShards += o.WantShards
@@ -120,9 +142,13 @@ func (s *StoreStats) Add(o StoreStats) {
 		}
 		cur := s.Peers[id]
 		cur.Enqueued += ps.Enqueued
+		cur.EnqueuedBytes += ps.EnqueuedBytes
 		cur.Dropped += ps.Dropped
+		cur.DroppedBytes += ps.DroppedBytes
+		cur.Coalesced += ps.Coalesced
 		cur.Reconnects += ps.Reconnects
 		cur.Queued += ps.Queued
+		cur.QueuedBytes += ps.QueuedBytes
 		cur.State = "" // connection states from different stores are not additive
 		s.Peers[id] = cur
 	}
@@ -242,8 +268,15 @@ func StartStore(cfg StoreConfig) (*Store, error) {
 		}
 	}
 	s := &Store{
-		cfg:       cfg,
-		net:       newPeerNet(cfg.ID, cfg.Peers, ln, cfg.Dial, cfg.PeerQueueLen),
+		cfg: cfg,
+		net: newPeerNet(cfg.ID, cfg.Peers, ln, cfg.Dial, queueConfig{
+			frames: cfg.PeerQueueLen,
+			bytes:  cfg.PeerQueueBytes,
+			// Drain-time coalescing must never assemble a frame the
+			// packer would have refused to emit: both budgets come from
+			// the same formula.
+			maxMsg: maxMsgFor(cfg.MaxFrameBytes, cfg.ID),
+		}),
 		shards:    shards,
 		mask:      uint32(cfg.Shards - 1),
 		neighbors: neighbors,
@@ -422,8 +455,10 @@ func (b *outBatch) sender(shardIdx uint32) protocol.Sender {
 // SyncNow runs one synchronization step over the dirty shards and flushes
 // the coalesced frames. Clean shards — the steady state of an idle
 // keyspace — are skipped without taking their locks, so the tick is
-// O(dirty shards) plus, every DigestEvery ticks, one digest frame per
-// peer.
+// O(dirty shards). Every DigestEvery ticks the per-shard digest vector
+// goes out with the same flush: piggybacked on a data frame to each peer
+// that is getting one anyway, as a standalone heartbeat only to peers the
+// tick has nothing else to say to (every peer, on an idle tick).
 func (s *Store) SyncNow() {
 	b := newOutBatch()
 	for i, sh := range s.shards {
@@ -445,92 +480,94 @@ func (s *Store) SyncNow() {
 		}
 		sh.mu.Unlock()
 	}
-	s.flush(b)
 	tick := s.ticks.Add(1)
+	var vec []uint64
 	if every := uint64(s.cfg.DigestEvery); every > 0 && tick%every == 0 {
-		s.broadcastDigests()
+		vec = s.shardDigests()
 	}
-}
-
-// broadcastDigests ships the per-shard digest vector to every peer: the
-// anti-entropy heartbeat. On a converged cluster this is the only
-// steady-state traffic.
-func (s *Store) broadcastDigests() {
-	vec := s.shardDigests()
+	piggyback := vec
+	if s.cfg.NoDigestPiggyback {
+		piggyback = nil
+	}
+	covered := s.flush(b, piggyback)
+	if vec == nil {
+		return
+	}
+	// The heartbeat fallback: peers whose data frames this tick did not
+	// carry the vector still get the advertisement, standalone.
 	m := protocol.NewDigestMsg(vec, nil, protocol.DigestCost(vec, nil))
 	data, err := codec.EncodeMsg(m)
 	if err != nil {
 		panic(err)
 	}
 	for _, to := range s.neighbors {
-		s.transmit(to, data, m.Cost(), true)
+		if _, ok := covered[to]; !ok {
+			s.transmit(to, data, m.Cost(), frameDigest)
+		}
 	}
 }
 
-// flush encodes the accumulated items into bounded frames per destination
-// and transmits them. Callers must not hold any shard lock: a slow peer
-// can then never block updates or inbound handling on other connections.
-func (s *Store) flush(b *outBatch) {
+// flush packs the accumulated items into bounded frames per destination
+// and transmits them; vec, when non-nil, is piggybacked onto one frame
+// per destination when it fits, and the returned set names the peers it
+// reached. Callers must not hold any shard lock: a slow peer can then
+// never block updates or inbound handling on other connections.
+func (s *Store) flush(b *outBatch, vec []uint64) map[string]struct{} {
+	var covered map[string]struct{}
 	for _, to := range b.order {
-		s.sendSharded(to, b.perDest[to], false)
+		res, err := packFrames(b.perDest[to], vec, s.maxMsgBytes())
+		if err != nil {
+			// Engines produced an unencodable message: a programming
+			// error in the engine/codec pairing.
+			panic(err)
+		}
+		s.statsMu.Lock()
+		if len(res.frames) > 1 {
+			s.stats.SplitFrames += len(res.frames)
+		}
+		s.stats.OversizedDropped += res.oversized
+		s.statsMu.Unlock()
+		for _, f := range res.frames {
+			kind := frameData
+			if f.digests {
+				kind = framePiggyback
+			}
+			s.transmit(to, f.data, f.cost, kind)
+		}
+		if res.digestsAttached {
+			if covered == nil {
+				covered = make(map[string]struct{})
+			}
+			covered[to] = struct{}{}
+		}
 	}
+	return covered
 }
 
-// maxMsgBytes is the largest encoded message that still fits one frame
-// under the configured cap once the frame header (2-byte sender length
-// plus the sender id; the 4-byte length prefix is not counted against the
-// cap by receivers) is accounted for.
+// maxMsgFor is the largest encoded message that still fits one frame
+// under the given cap once the frame header (2-byte sender length plus
+// the sender id; the 4-byte length prefix is not counted against the cap
+// by receivers) is accounted for. Both the packer's frame budget and the
+// write pipeline's coalescing budget derive from it.
+func maxMsgFor(maxFrame int, id string) int {
+	return maxFrame - 2 - len(id)
+}
+
 func (s *Store) maxMsgBytes() int {
-	return s.cfg.MaxFrameBytes - 2 - len(s.cfg.ID)
+	return maxMsgFor(s.cfg.MaxFrameBytes, s.cfg.ID)
 }
 
-// sendSharded transmits items as one ShardedMsg frame, splitting the
-// batch recursively when its encoding exceeds the frame cap: first across
-// shard items, then inside a single shard's key batch. Receivers reject
-// frames above the cap outright, so without splitting an oversized tick
-// would be silently lost; split is set on recursive calls to count the
-// extra frames. An irreducible oversized message (a single object larger
-// than the cap) is dropped and counted: shipping it could never succeed.
-func (s *Store) sendSharded(to string, items []protocol.ShardItem, split bool) {
-	if len(items) == 0 {
-		return
-	}
-	m := protocol.NewShardedMsg(items)
-	data, err := codec.EncodeMsg(m)
-	if err != nil {
-		// Engines produced an unencodable message: a programming error
-		// in the engine/codec pairing.
-		panic(err)
-	}
-	if len(data) <= s.maxMsgBytes() {
-		if split {
-			s.statsMu.Lock()
-			s.stats.SplitFrames++
-			s.statsMu.Unlock()
-		}
-		s.transmit(to, data, m.Cost(), false)
-		return
-	}
-	if len(items) > 1 {
-		mid := len(items) / 2
-		s.sendSharded(to, items[:mid], true)
-		s.sendSharded(to, items[mid:], true)
-		return
-	}
-	// One shard's message alone exceeds the cap: split within its batch.
-	if bm, ok := items[0].Msg.(*protocol.BatchMsg); ok && len(bm.Items) > 1 {
-		mid := len(bm.Items) / 2
-		for _, half := range [][]protocol.ObjectMsg{bm.Items[:mid], bm.Items[mid:]} {
-			s.sendSharded(to, []protocol.ShardItem{
-				{Shard: items[0].Shard, Msg: protocol.BatchOf(half)},
-			}, true)
-		}
-		return
-	}
-	s.statsMu.Lock()
-	s.stats.OversizedDropped++
-	s.statsMu.Unlock()
-}
+// frameKind classifies a frame for the wire accounting.
+type frameKind int
+
+const (
+	// frameData carries shard items only.
+	frameData frameKind = iota
+	// frameDigest is a standalone DigestMsg (heartbeat or shard request).
+	frameDigest
+	// framePiggyback carries shard items plus the digest vector.
+	framePiggyback
+)
 
 // transmit enqueues one frame onto the peer's write pipeline and records
 // wire stats at enqueue time (a dedicated writer goroutine performs the
@@ -541,15 +578,18 @@ func (s *Store) sendSharded(to string, items []protocol.ShardItem, split bool) {
 // until acknowledged) or when digest anti-entropy observes the
 // divergence. Pair plain delta-based without digests with this transport
 // only where loss is acceptable.
-func (s *Store) transmit(to string, data []byte, cost metrics.Transmission, digest bool) {
+func (s *Store) transmit(to string, data []byte, cost metrics.Transmission, kind frameKind) {
 	if err := s.net.transmit(to, data); err != nil {
 		return // neighbor down or unknown; repaired on a later tick
 	}
 	s.statsMu.Lock()
 	s.stats.Frames++
 	s.stats.WireBytes += 4 + 2 + len(s.cfg.ID) + len(data)
-	if digest {
+	switch kind {
+	case frameDigest:
 		s.stats.DigestFrames++
+	case framePiggyback:
+		s.stats.PiggybackedDigests++
 	}
 	s.stats.Sent.Add(cost)
 	s.statsMu.Unlock()
@@ -577,8 +617,13 @@ func (s *Store) deliver(from string, msg protocol.Msg) {
 			sh.markDirty()
 			sh.mu.Unlock()
 		}
+		// A piggybacked digest vector is an advertisement like any other,
+		// compared after the frame's own items have been merged (they are
+		// part of the state the digests describe).
+		reply = s.compareDigests(m.Digests)
 	case *protocol.DigestMsg:
-		reply = s.handleDigest(from, m, b)
+		s.serveWants(from, m.Want, b)
+		reply = s.compareDigests(m.Digests)
 	default:
 		return // stores speak only sharded and digest frames
 	}
@@ -595,22 +640,21 @@ func (s *Store) deliver(from string, msg protocol.Msg) {
 			if err != nil {
 				panic(err)
 			}
-			s.transmit(from, data, reply.Cost(), true)
+			s.transmit(from, data, reply.Cost(), frameDigest)
 		}
-		s.flush(b)
+		s.flush(b, nil)
 	}()
 }
 
-// handleDigest serves a peer's shard requests into b and compares a
-// peer's digest advertisement against the local shards, returning the
-// request for whichever differ (nil when none do — the converged case).
-func (s *Store) handleDigest(from string, m *protocol.DigestMsg, b *outBatch) *protocol.DigestMsg {
+// serveWants answers a peer's shard requests into b: each validly
+// requested shard is shipped once, in full.
+func (s *Store) serveWants(from string, want []uint32, b *outBatch) {
 	served := 0
 	// Sized by the shard count, never by the attacker-controlled request
 	// length: a hostile Want list of millions of duplicate indices must
 	// not amplify into allocation.
 	seen := make([]bool, len(s.shards))
-	for _, idx := range m.Want {
+	for _, idx := range want {
 		if int(idx) >= len(s.shards) || seen[idx] {
 			continue // hostile or stale request; serve each shard once
 		}
@@ -625,15 +669,21 @@ func (s *Store) handleDigest(from string, m *protocol.DigestMsg, b *outBatch) *p
 		s.stats.RepairShards += served
 		s.statsMu.Unlock()
 	}
-	if len(m.Digests) == 0 {
+}
+
+// compareDigests checks a peer's digest advertisement against the local
+// shards, returning the request for whichever differ (nil when none do —
+// the converged case — or when there is no comparable advertisement).
+func (s *Store) compareDigests(digests []uint64) *protocol.DigestMsg {
+	if len(digests) == 0 {
 		return nil
 	}
-	if len(m.Digests) != len(s.shards) {
+	if len(digests) != len(s.shards) {
 		return nil // shard-count mismatch: digests are not comparable
 	}
 	var want []uint32
 	for i, sh := range s.shards {
-		if s.shardDigest(sh) != m.Digests[i] {
+		if s.shardDigest(sh) != digests[i] {
 			want = append(want, uint32(i))
 		}
 	}

@@ -110,7 +110,7 @@ func Start(cfg Config) (*Node, error) {
 	}
 	n := &Node{
 		cfg:      cfg,
-		net:      newPeerNet(cfg.ID, cfg.Peers, ln, nil, 0),
+		net:      newPeerNet(cfg.ID, cfg.Peers, ln, nil, queueConfig{}),
 		engine:   engine,
 		stopping: make(chan struct{}),
 	}

@@ -9,7 +9,7 @@
 // Benchmarks execute the same experiment runners as cmd/syncbench at test
 // scale (one full experiment per iteration) so -bench both regenerates the
 // paper's rows and measures the harness cost.
-package main
+package crdtsync_test
 
 import (
 	"testing"

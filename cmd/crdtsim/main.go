@@ -2,21 +2,29 @@
 // transmission, memory and convergence statistics. It is the exploratory
 // counterpart to syncbench's fixed experiments.
 //
+// With -store it instead drives a live sharded store cluster over TCP on
+// loopback through the public crdtsync API: -keys per-key counters are
+// loaded through typed handles, anti-entropy converges the cluster, and
+// the zero-clone read layer (Query/Scan) plus a Watch subscription are
+// exercised against it.
+//
 // Usage:
 //
 //	crdtsim -protocol delta-bp+rr -topology mesh -nodes 15 -datatype gset -rounds 100
+//	crdtsim -store -nodes 3 -keys 20000 -engine acked
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"crdtsync"
 	"crdtsync/internal/exp"
 	"crdtsync/internal/netsim"
 	"crdtsync/internal/protocol"
 	"crdtsync/internal/topology"
-	"crdtsync/internal/workload"
 )
 
 func main() {
@@ -26,11 +34,21 @@ func main() {
 	degree := flag.Int("degree", 4, "mesh degree / tree children")
 	datatype := flag.String("datatype", "gset", "gset, gcounter, gmap10, gmap30, gmap60, gmap100")
 	rounds := flag.Int("rounds", 100, "update rounds (events per replica)")
-	keys := flag.Int("keys", 1000, "gmap key-space size")
+	keys := flag.Int("keys", 1000, "gmap key-space size; -store: counters to load")
 	seed := flag.Int64("seed", 42, "random seed")
 	dup := flag.Float64("duplicate", 0, "message duplication probability")
 	reorder := flag.Bool("reorder", false, "shuffle delivery order")
+	store := flag.Bool("store", false, "drive a live TCP store cluster (public crdtsync API) instead of the simulator")
+	shards := flag.Int("shards", 32, "-store: shards per replica")
+	syncEvery := flag.Duration("sync-every", 50*time.Millisecond, "-store: synchronization period")
+	engine := flag.String("engine", "acked", "-store: per-object engine (acked or delta)")
+	digestEvery := flag.Int("digest-every", 4, "-store: digest heartbeat period in ticks (0 disables)")
 	flag.Parse()
+
+	if *store {
+		runStore(*nodes, *keys, *shards, *syncEvery, *engine, *digestEvery)
+		return
+	}
 
 	var factory protocol.Factory
 	found := false
@@ -64,18 +82,9 @@ func main() {
 		os.Exit(2)
 	}
 
-	var dt workload.Datatype
-	var gen workload.Generator
-	switch *datatype {
-	case "gset":
-		dt, gen = workload.GSetType{}, workload.GSetGen{}
-	case "gcounter":
-		dt, gen = workload.GCounterType{}, workload.GCounterGen{}
-	case "gmap10", "gmap30", "gmap60", "gmap100":
-		k := map[string]int{"gmap10": 10, "gmap30": 30, "gmap60": 60, "gmap100": 100}[*datatype]
-		dt, gen = workload.GMapType{}, workload.GMapGen{K: k, TotalKeys: *keys}
-	default:
-		fmt.Fprintf(os.Stderr, "unknown datatype %q\n", *datatype)
+	dt, gen, err := exp.WorkloadByName(*datatype, *keys)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
@@ -105,9 +114,75 @@ func main() {
 	fmt.Printf("final state   %d elements, %d B\n", st.Elements(), st.SizeBytes())
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
+// runStore is crdtsim's live path: a loopback TCP cluster driven
+// entirely through the public crdtsync API.
+func runStore(nodes, keys, shards int, syncEvery time.Duration, engineName string, digestEvery int) {
+	eng, err := crdtsync.ParseEngine(engineName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
-	return b
+	stores, err := crdtsync.Cluster(nodes,
+		crdtsync.WithID("sim"),
+		crdtsync.WithShards(shards),
+		crdtsync.WithEngine(eng),
+		crdtsync.WithSyncEvery(syncEvery),
+		crdtsync.WithDigestEvery(digestEvery),
+	)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer func() {
+		for _, st := range stores {
+			st.Close()
+		}
+	}()
+	fmt.Printf("store cluster  %d replicas (full mesh), %d shards each, %s engine, sync every %s\n",
+		nodes, stores[0].NumShards(), engineName, syncEvery)
+
+	// A watcher on the last replica counts distinct keys it learns about
+	// while the cluster loads and converges.
+	w := stores[len(stores)-1].Watch(crdtsync.CounterPrefix)
+	watched := make(chan int)
+	go func() {
+		seen := map[string]bool{}
+		for ev := range w.Events() {
+			seen[ev.Key] = true
+		}
+		watched <- len(seen)
+	}()
+
+	start := time.Now()
+	for k := 0; k < keys; k++ {
+		stores[k%nodes].Counter(fmt.Sprintf("key:%07d", k)).Inc(1)
+	}
+	if err := crdtsync.WaitConverged(stores, keys, 5*time.Minute, nil); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("converged      %d keys on every replica in %s (digest %x)\n",
+		keys, time.Since(start).Round(time.Millisecond), stores[0].Digest())
+
+	// Zero-clone reads over the converged keyspace.
+	queryStart := time.Now()
+	sum := uint64(0)
+	for shard := 0; shard < stores[0].NumShards(); shard++ {
+		stores[0].Query(shard, func(_ string, st crdtsync.State) bool {
+			sum += uint64(st.Elements())
+			return true
+		})
+	}
+	fmt.Printf("query          visited %d live objects in %s without cloning\n",
+		sum, time.Since(queryStart).Round(time.Microsecond))
+
+	var total crdtsync.Stats
+	for _, st := range stores {
+		total.Add(st.Stats())
+	}
+	fmt.Printf("wire           %d frames, %d B, %d elements shipped, %d watch drops\n",
+		total.Frames, total.WireBytes, total.Sent.Elements, total.WatchDropped)
+
+	w.Close()
+	fmt.Printf("watch          saw %d distinct keys change on %s\n", <-watched, stores[len(stores)-1].ID())
 }

@@ -33,6 +33,7 @@ func main() {
 	peerQueue := flag.Int("peer-queue", 0, "store experiment: per-peer outbound frame queue length (0 = default)")
 	peerQueueBytes := flag.Int("peer-queue-bytes", 0, "store experiment: per-peer outbound queue byte budget (0 = default)")
 	noPiggyback := flag.Bool("no-piggyback", false, "store experiment: ship every digest advertisement standalone instead of piggybacking on data frames")
+	scan := flag.Bool("scan", false, "store experiment: after convergence, benchmark the read layer (Get clone baseline vs zero-clone Query vs sorted Scan)")
 	flag.Parse()
 
 	if *list {
@@ -62,6 +63,7 @@ func main() {
 			PeerQueueLen:   *peerQueue,
 			PeerQueueBytes: *peerQueueBytes,
 			NoPiggyback:    *noPiggyback,
+			Scan:           *scan,
 			Seed:           *seed,
 		})
 		return

@@ -4,19 +4,21 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"sync"
 	"time"
 
-	"crdtsync/internal/metrics"
-	"crdtsync/internal/protocol"
+	"crdtsync"
 	"crdtsync/internal/transport"
-	"crdtsync/internal/workload"
 )
 
 // storeBenchConfig parameterizes the sharded multi-object store benchmark
 // (the "store" experiment): a full-mesh TCP cluster on loopback where each
 // replica owns a disjoint slice of a large keyspace and anti-entropy has
-// to spread every object to every replica through batched frames.
+// to spread every object to every replica through batched frames. The
+// cluster is driven through the public crdtsync API; only the fault
+// injector reaches into internal/transport (it is a measurement harness,
+// not a user-facing knob).
 type storeBenchConfig struct {
 	Keys      int
 	Nodes     int
@@ -45,6 +47,10 @@ type storeBenchConfig struct {
 	// advertisement as its own frame — the pre-piggybacking wire
 	// behavior, kept as a measurement baseline.
 	NoPiggyback bool
+	// Scan, after convergence, measures the read layer: clone-everything
+	// Get baseline vs zero-clone Query vs sorted Scan over the full
+	// keyspace, reporting throughput and allocations per visited key.
+	Scan bool
 	// Seed seeds the fault injector's frame-fate sequence.
 	Seed int64
 }
@@ -56,36 +62,32 @@ func runStoreBench(cfg storeBenchConfig) {
 		fmt.Fprintln(os.Stderr, "store benchmark needs at least 2 nodes")
 		os.Exit(2)
 	}
-	var factory protocol.Factory
-	var engineDesc string
-	switch cfg.Engine {
-	case "", "acked":
-		factory = protocol.NewDeltaAcked(true, true)
-		engineDesc = "delta-based BP+RR with acknowledgements (loss-tolerant)"
-	case "delta":
-		factory = protocol.NewDeltaBPRR()
-		engineDesc = "delta-based BP+RR (assumes reliable channels)"
-	default:
-		fmt.Fprintf(os.Stderr, "unknown engine %q (want acked or delta)\n", cfg.Engine)
+	engine, err := crdtsync.ParseEngine(cfg.Engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	template := transport.StoreConfig{
-		ID:                "store",
-		Shards:            cfg.Shards,
-		Factory:           factory,
-		ObjType:           func(string) workload.Datatype { return workload.GCounterType{} },
-		SyncEvery:         cfg.SyncEvery,
-		DigestEvery:       cfg.DigestEvery,
-		PeerQueueLen:      cfg.PeerQueueLen,
-		PeerQueueBytes:    cfg.PeerQueueBytes,
-		NoDigestPiggyback: cfg.NoPiggyback,
+	engineDesc := map[crdtsync.Engine]string{
+		crdtsync.EngineAcked: "delta-based BP+RR with acknowledgements (loss-tolerant)",
+		crdtsync.EngineDelta: "delta-based BP+RR (assumes reliable channels)",
+	}[engine]
+	opts := []crdtsync.Option{
+		crdtsync.WithID("store"),
+		crdtsync.WithShards(cfg.Shards),
+		crdtsync.WithEngine(engine),
+		crdtsync.WithSyncEvery(cfg.SyncEvery),
+		crdtsync.WithDigestEvery(cfg.DigestEvery),
+		crdtsync.WithQueueBudget(cfg.PeerQueueLen, cfg.PeerQueueBytes),
+	}
+	if cfg.NoPiggyback {
+		opts = append(opts, crdtsync.WithoutDigestPiggyback())
 	}
 	if cfg.FaultDrop > 0 {
 		fault := transport.NewFault(cfg.Seed)
 		fault.SetDropRate(cfg.FaultDrop)
-		template.Dial = fault.Dialer(nil)
+		opts = append(opts, crdtsync.WithDial(fault.Dialer(nil)))
 	}
-	stores, err := transport.LoopbackCluster(cfg.Nodes, template)
+	stores, err := crdtsync.Cluster(cfg.Nodes, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -115,10 +117,10 @@ func runStoreBench(cfg storeBenchConfig) {
 	var wg sync.WaitGroup
 	for i, st := range stores {
 		wg.Add(1)
-		go func(st *transport.Store, i int) {
+		go func(st *crdtsync.Store, i int) {
 			defer wg.Done()
 			for k := i; k < cfg.Keys; k += cfg.Nodes {
-				st.Update(workload.Op{Kind: workload.KindInc, Key: keyName(k), N: 1})
+				st.Counter(keyName(k)).Inc(1)
 			}
 		}(st, i)
 	}
@@ -130,12 +132,12 @@ func runStoreBench(cfg storeBenchConfig) {
 	// Phase 2: anti-entropy until every replica holds every key in the
 	// same state.
 	syncStart := time.Now()
-	if err := transport.WaitConverged(stores, cfg.Keys, 5*time.Minute, nil); err != nil {
+	if err := crdtsync.WaitConverged(stores, cfg.Keys, 5*time.Minute, nil); err != nil {
 		log.Fatal(err)
 	}
 	syncDur := time.Since(syncStart)
 
-	var total transport.StoreStats
+	var total crdtsync.Stats
 	var ticks uint64
 	for _, st := range stores {
 		total.Add(st.Stats())
@@ -169,7 +171,7 @@ func runStoreBench(cfg storeBenchConfig) {
 	}
 	fmt.Printf("pipeline: %d frames enqueued (%s), %d dropped (%s; queue overflow / failed sends), %d coalesced on drain, %d reconnects\n",
 		enq, fmtBytes(enqBytes), dropped, fmtBytes(droppedBytes), coalesced, reconnects)
-	mem := metrics.Memory{}
+	var mem crdtsync.Memory
 	for _, st := range stores {
 		m := st.Memory()
 		mem.CRDTBytes += m.CRDTBytes
@@ -178,6 +180,74 @@ func runStoreBench(cfg storeBenchConfig) {
 	}
 	fmt.Printf("memory: %s CRDT state, %s δ-buffers, %s sync metadata across the cluster\n",
 		fmtBytes(mem.CRDTBytes), fmtBytes(mem.BufferBytes), fmtBytes(mem.MetadataBytes))
+
+	if cfg.Scan {
+		// Let residual retransmission traffic drain so shard locks are
+		// quiet and the read measurement isn't paying for deliveries.
+		waitQuiescent(stores, cfg.SyncEvery)
+		runReadBench(stores[0], cfg.Keys)
+	}
+}
+
+// waitQuiescent waits until every δ-buffer has drained (acked engines
+// keep retransmitting until the last ack lands), so a read benchmark
+// measures reads, not leftover write traffic.
+func waitQuiescent(stores []*crdtsync.Store, syncEvery time.Duration) {
+	for deadline := time.Now().Add(30 * time.Second); time.Now().Before(deadline); {
+		pending := 0
+		for _, st := range stores {
+			pending += st.Memory().BufferBytes
+		}
+		if pending == 0 {
+			return
+		}
+		time.Sleep(syncEvery)
+	}
+}
+
+// runReadBench measures the three read strengths over one converged
+// replica's full keyspace: the clone-everything Get baseline, the
+// zero-clone per-shard Query, and the globally sorted Scan.
+func runReadBench(st *crdtsync.Store, keys int) {
+	fmt.Printf("\nread layer (%d keys, 1 replica):\n", keys)
+	keyList := st.Keys() // shared by the baseline; excluded from its measurement
+
+	measure := func(name string, visit func() int) {
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		visited := visit()
+		dur := time.Since(start)
+		runtime.ReadMemStats(&m1)
+		allocs := float64(m1.Mallocs-m0.Mallocs) / float64(max(visited, 1))
+		bytes := float64(m1.TotalAlloc-m0.TotalAlloc) / float64(max(visited, 1))
+		fmt.Printf("  %-24s %9d keys in %10s  (%7.2f Mkeys/s, %5.2f allocs/key, %7.1f B/key)\n",
+			name, visited, dur.Round(time.Microsecond),
+			float64(visited)/dur.Seconds()/1e6, allocs, bytes)
+	}
+
+	measure("get (clone everything)", func() int {
+		n := 0
+		for _, k := range keyList {
+			if st.Get(k) != nil {
+				n++
+			}
+		}
+		return n
+	})
+	measure("query (zero-clone)", func() int {
+		n := 0
+		for shard := 0; shard < st.NumShards(); shard++ {
+			st.Query(shard, func(string, crdtsync.State) bool { n++; return true })
+		}
+		return n
+	})
+	measure("scan (sorted, prefix)", func() int {
+		n := 0
+		st.Scan(crdtsync.CounterPrefix, func(string, crdtsync.State) bool { n++; return true })
+		return n
+	})
 }
 
 func keyName(k int) string { return fmt.Sprintf("obj:%07d", k) }

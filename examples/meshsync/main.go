@@ -13,10 +13,11 @@ package main
 import (
 	"fmt"
 
+	"log"
+
 	"crdtsync/internal/exp"
 	"crdtsync/internal/netsim"
 	"crdtsync/internal/topology"
-	"crdtsync/internal/workload"
 )
 
 func main() {
@@ -27,9 +28,13 @@ func main() {
 	fmt.Printf("%-15s %10s %12s %12s %10s %12s\n",
 		"protocol", "messages", "elements", "payload B", "meta %", "avg mem B")
 
+	dt, gen, err := exp.WorkloadByName("gset", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
 	for _, p := range exp.Roster() {
-		sim := netsim.New(mesh, p.Factory, workload.GSetType{}, netsim.Options{Seed: 1})
-		sim.Run(rounds, workload.GSetGen{})
+		sim := netsim.New(mesh, p.Factory, dt, netsim.Options{Seed: 1})
+		sim.Run(rounds, gen)
 		if _, ok := sim.RunQuiet(100); !ok {
 			fmt.Printf("%-15s did not converge!\n", p.Name)
 			continue

@@ -1,59 +1,103 @@
-// Quickstart: the paper's core ideas in one file.
+// Quickstart: the public crdtsync API in one file — this is the README's
+// "Public API" snippet, kept compiling by CI.
 //
-//  1. State-based CRDTs are join-semilattices; replicas converge by join.
-//  2. δ-mutators return small deltas instead of full states.
-//  3. Join decompositions split a state into irreducible atoms.
-//  4. Δ(a, b) is the optimal delta: the smallest state that carries
-//     everything a knows and b does not.
+// Two replicas synchronize a keyspace of typed CRDT objects over real
+// TCP on loopback: counters sum, sets union, map registers resolve
+// last-writer-wins; a watcher streams change notifications, and the
+// zero-clone Scan ranges over a whole namespace without copying a state.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
 	"fmt"
+	"log"
+	"net"
+	"time"
 
-	"crdtsync/internal/core"
-	"crdtsync/internal/crdt"
-	"crdtsync/internal/lattice"
+	"crdtsync"
 )
 
 func main() {
-	// Two replicas of a grow-only set diverge...
-	replicaA := crdt.NewGSet()
-	replicaB := crdt.NewGSet()
-	replicaA.Add("apple")
-	replicaA.Add("banana")
-	replicaB.Add("banana")
-	replicaB.Add("cherry")
-	fmt.Println("replica A:", replicaA)
-	fmt.Println("replica B:", replicaB)
+	// Bind both listeners first so each replica can name the other's
+	// address at Open time. (Fully meshed loopback clusters can use
+	// crdtsync.Cluster instead, which does exactly this.)
+	lnA, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	lnB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	// ...and converge by joining states in any order.
-	merged := replicaA.Join(replicaB)
-	fmt.Println("A ⊔ B:    ", merged)
+	a, err := crdtsync.Open(
+		crdtsync.WithID("node-a"),
+		crdtsync.WithListener(lnA),
+		crdtsync.WithPeers(map[string]string{"node-b": lnB.Addr().String()}),
+		crdtsync.WithSyncEvery(20*time.Millisecond),
+		crdtsync.WithDigestEvery(4), // digest anti-entropy heartbeat
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer a.Close()
 
-	// δ-mutators return only what changed: adding a present element
-	// yields ⊥ (the optimal addδ of Figure 2b).
-	fmt.Println("addδ(kiwi): ", replicaA.AddDelta("kiwi"))
-	fmt.Println("addδ(apple):", replicaA.AddDelta("apple"), "(already present → bottom)")
+	b, err := crdtsync.Open(
+		crdtsync.WithID("node-b"),
+		crdtsync.WithListener(lnB),
+		crdtsync.WithPeers(map[string]string{"node-a": lnA.Addr().String()}),
+		crdtsync.WithSyncEvery(20*time.Millisecond),
+		crdtsync.WithDigestEvery(4),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer b.Close()
 
-	// Join decomposition: the set splits into irreducible singletons.
-	fmt.Println("⇓(A ⊔ B):", lattice.Decompose(merged))
+	// Watch the counter namespace on B before writing anything.
+	watch := b.Watch(crdtsync.CounterPrefix)
+	defer watch.Close()
 
-	// Optimal delta: exactly what A has that B lacks — the key to the
-	// RR optimization (remove redundant state in received δ-groups).
-	delta := core.Delta(replicaA, replicaB)
-	fmt.Println("Δ(A, B): ", delta)
+	// Typed handles: counters sum across replicas...
+	a.Counter("page/hits").Inc(3)
+	b.Counter("page/hits").Inc(4)
+	// ...sets union...
+	a.Set("tags").Add("fast")
+	b.Set("tags").Add("replicated")
+	// ...and map fields are last-writer-wins registers, each field its
+	// own object (writes to different fields never contend).
+	a.Map("profile/ana").Put("city", "Porto")
+	b.Map("profile/ana").Put("lang", "go")
 
-	// Joining the delta brings B fully up to date with A.
-	replicaB.Merge(delta)
-	fmt.Println("B ⊔ Δ:   ", replicaB)
+	// The watcher sees changed counters — local and remote — as
+	// coalesced events.
+	ev := <-watch.Events()
+	fmt.Printf("watch: %s changed (lagged=%t)\n", ev.Key, ev.Lagged)
 
-	// The same machinery works for any lattice, e.g. a grow-only counter.
-	counter := crdt.NewGCounter()
-	counter.Inc("server-1", 3)
-	counter.Inc("server-2", 5)
-	fmt.Println("\ncounter:      ", counter, "value:", counter.Value())
-	fmt.Println("⇓counter:     ", lattice.Decompose(counter))
-	fmt.Println("incδ(server-1):", counter.IncDelta("server-1", 1))
+	// Wait until both replicas hold all 4 objects in agreeing states:
+	// one counter, one set, two map fields (each its own object).
+	stores := []*crdtsync.Store{a, b}
+	if err := crdtsync.WaitConverged(stores, 4, 10*time.Second, nil); err != nil {
+		log.Fatal(err)
+	}
+
+	for _, st := range stores {
+		fmt.Printf("%s: hits=%d tags=%v", st.ID(),
+			st.Counter("page/hits").Value(), st.Set("tags").Elems())
+		st.Map("profile/ana").Range(func(field, value string) bool {
+			fmt.Printf(" ana.%s=%q", field, value)
+			return true
+		})
+		fmt.Println()
+	}
+
+	// Zero-clone reads: Scan ranges a namespace in sorted key order
+	// without copying a single state.
+	fmt.Print("scan c/: ")
+	b.Scan(crdtsync.CounterPrefix, func(key string, st crdtsync.State) bool {
+		fmt.Printf("%s=%d ", key, st.Elements())
+		return true
+	})
+	fmt.Printf("\nconverged: digests agree (%x)\n", b.Digest())
 }

@@ -1,17 +1,17 @@
-// Storecluster runs a sharded multi-object store on a real TCP cluster:
-// three replicas, each owning 64 shards of a 100 000-key keyspace of
-// per-key GCounters, synchronized with acked delta-based BP+RR per object.
-// Updates on different keys never contend (shard-level locking), and each
-// sync tick coalesces every dirty object's delta into bounded batched
-// frames per peer — the deployment shape of the paper's Retwis evaluation
-// (§V-C), scaled past it.
+// Storecluster runs a sharded multi-object store on a real TCP cluster
+// through the public crdtsync API: three replicas, each owning 64 shards
+// of a 100 000-counter keyspace, synchronized with acked delta-based
+// BP+RR per object. Updates on different keys never contend (shard-level
+// locking), and each sync tick coalesces every dirty object's delta into
+// bounded batched frames per peer — the deployment shape of the paper's
+// Retwis evaluation (§V-C), scaled past it.
 //
-// On top of the delta traffic the replicas run digest anti-entropy: every
-// few ticks each ships its per-shard digest vector, and peers pull in
-// full only the shards whose digests differ. Once the cluster converges,
-// the example demonstrates the steady state — idle ticks cost a constant
-// digest heartbeat, not a keyspace scan, because clean shards are skipped
-// without even taking their locks.
+// On top of the delta traffic the replicas run digest anti-entropy:
+// every few ticks each ships its per-shard digest vector, and peers pull
+// in full only the shards whose digests differ. Once the cluster
+// converges, the example demonstrates the steady state — idle ticks cost
+// a constant digest heartbeat, not a keyspace scan, because clean shards
+// are skipped without even taking their locks.
 //
 // Run with: go run ./examples/storecluster [-keys 100000] [-nodes 3] [-shards 64]
 package main
@@ -23,13 +23,11 @@ import (
 	"sync"
 	"time"
 
-	"crdtsync/internal/protocol"
-	"crdtsync/internal/transport"
-	"crdtsync/internal/workload"
+	"crdtsync"
 )
 
 func main() {
-	keys := flag.Int("keys", 100000, "distinct keys across the cluster")
+	keys := flag.Int("keys", 100000, "distinct counters across the cluster")
 	nodes := flag.Int("nodes", 3, "replica count (full mesh)")
 	shards := flag.Int("shards", 64, "shards per replica")
 	syncEvery := flag.Duration("sync-every", 100*time.Millisecond, "synchronization period")
@@ -37,20 +35,19 @@ func main() {
 	peerQueue := flag.Int("peer-queue", 0, "per-peer outbound frame queue length (0 = default)")
 	flag.Parse()
 
-	stores, err := transport.LoopbackCluster(*nodes, transport.StoreConfig{
-		ID:     "replica",
-		Shards: *shards,
-		// Acked deltas retransmit until acknowledged, so a dropped
-		// frame is repaired instead of silently diverging.
-		Factory:     protocol.NewDeltaAcked(true, true),
-		ObjType:     func(string) workload.Datatype { return workload.GCounterType{} },
-		SyncEvery:   *syncEvery,
-		DigestEvery: *digestEvery,
+	stores, err := crdtsync.Cluster(*nodes,
+		crdtsync.WithID("replica"),
+		crdtsync.WithShards(*shards),
+		// Acked deltas retransmit until acknowledged, so a dropped frame
+		// is repaired instead of silently diverging.
+		crdtsync.WithEngine(crdtsync.EngineAcked),
+		crdtsync.WithSyncEvery(*syncEvery),
+		crdtsync.WithDigestEvery(*digestEvery),
 		// Each peer gets its own bounded write queue and writer
 		// goroutine, so one slow replica can never stall frames to the
 		// healthy ones.
-		PeerQueueLen: *peerQueue,
-	})
+		crdtsync.WithQueueBudget(*peerQueue, 0),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -62,15 +59,16 @@ func main() {
 	fmt.Printf("started %d replicas (full mesh), %d shards each, sync every %s, digests every %d ticks\n",
 		*nodes, stores[0].NumShards(), *syncEvery, *digestEvery)
 
-	// Each replica writes a disjoint slice of the keyspace concurrently.
+	// Each replica increments a disjoint slice of the keyspace
+	// concurrently, through typed counter handles.
 	start := time.Now()
 	var wg sync.WaitGroup
 	for i, st := range stores {
 		wg.Add(1)
-		go func(st *transport.Store, i int) {
+		go func(st *crdtsync.Store, i int) {
 			defer wg.Done()
 			for k := i; k < *keys; k += *nodes {
-				st.Update(workload.Op{Kind: workload.KindInc, Key: fmt.Sprintf("obj:%07d", k), N: 1})
+				st.Counter(fmt.Sprintf("obj:%07d", k)).Inc(1)
 			}
 		}(st, i)
 	}
@@ -79,7 +77,7 @@ func main() {
 		*keys, time.Since(start).Round(time.Millisecond))
 
 	// Poll per-replica key counts and digests until the keyspace agrees.
-	err = transport.WaitConverged(stores, *keys, 5*time.Minute, func(counts []int) {
+	err = crdtsync.WaitConverged(stores, *keys, 5*time.Minute, func(counts []int) {
 		fmt.Printf("  key counts: %v\n", counts)
 	})
 	if err != nil {
@@ -100,12 +98,26 @@ func main() {
 			reconnects += ps.Reconnects
 		}
 	}
-	fmt.Printf("\nconverged in %s: every replica holds all %d keys (digest %x)\n",
+	fmt.Printf("\nconverged in %s: every replica holds all %d counters (digest %x)\n",
 		time.Since(start).Round(time.Millisecond), *keys, stores[0].Digest())
 	fmt.Printf("wire: %d batched frames, %.1f MiB total, %.0f keys/frame average, %d digests piggybacked on data frames\n",
 		frames, float64(wireBytes)/(1<<20), float64(elements)/float64(frames), piggybacked)
 	fmt.Printf("pipeline: %d frames enqueued, %d dropped, %d coalesced on drain, %d reconnects\n",
 		enqueued, dropped, coalesced, reconnects)
+
+	// The zero-clone read layer sums the whole keyspace without copying
+	// a single counter state: Query visits each shard's live objects
+	// under its lock.
+	queryStart := time.Now()
+	var total uint64
+	for shard := 0; shard < stores[0].NumShards(); shard++ {
+		stores[0].Query(shard, func(_ string, st crdtsync.State) bool {
+			total += uint64(st.Elements())
+			return true
+		})
+	}
+	fmt.Printf("query: zero-clone full-keyspace visit in %s (sum of per-key contributions: %d)\n",
+		time.Since(queryStart).Round(time.Microsecond), total)
 
 	// Steady state: with every shard clean, ticks cost only the digest
 	// heartbeat (8 bytes per shard per peer, every digest-every ticks).
@@ -123,9 +135,8 @@ func main() {
 			}
 			time.Sleep(*syncEvery)
 		}
-		var before transport.StoreStats
-		agg := func() transport.StoreStats {
-			var t transport.StoreStats
+		agg := func() crdtsync.Stats {
+			var t crdtsync.Stats
 			for _, st := range stores {
 				t.Add(st.Stats())
 			}
@@ -135,9 +146,9 @@ func main() {
 		// already queued in a socket buffer when the δ-buffers drain
 		// still earns one large batched ack reply once the receiver
 		// works through it. Wait until a full sync period passes with no
-		// new data frames.
-		// processing one backlogged frame can itself take a few ticks,
-		// so the window must span several before it counts as quiet.
+		// new data frames; processing one backlogged frame can itself
+		// take a few ticks, so the window must span several before it
+		// counts as quiet.
 		for deadline := time.Now().Add(30 * time.Second); time.Now().Before(deadline); {
 			prev := agg()
 			time.Sleep(10 * *syncEvery)
@@ -146,7 +157,7 @@ func main() {
 				break
 			}
 		}
-		before = agg()
+		before := agg()
 		idle := 10 * *syncEvery
 		time.Sleep(idle)
 		after := agg()

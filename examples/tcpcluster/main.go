@@ -1,8 +1,12 @@
-// Tcpcluster runs five real replicas over TCP on loopback — the library's
-// deployable path (engines + wire codec + framed transport), as opposed to
-// the measurement simulator. Each replica synchronizes a grow-only set
-// with delta-based BP+RR every 50 ms over a ring topology, so every update
-// needs multi-hop relaying.
+// Tcpcluster runs five real replicas over TCP on loopback through the
+// public crdtsync API, on a ring topology: each replica synchronizes
+// with its two ring neighbors only, so every update needs multi-hop
+// relaying before the whole cluster sees it. The replicas share one
+// grow-only set, mutated and read through the typed Set handle.
+//
+// Note WithNodes: on a partial topology the full membership is larger
+// than any replica's direct neighborhood, and the engines need it to
+// track causality cluster-wide.
 //
 // Run with: go run ./examples/tcpcluster
 package main
@@ -13,11 +17,7 @@ import (
 	"net"
 	"time"
 
-	"crdtsync/internal/crdt"
-	"crdtsync/internal/lattice"
-	"crdtsync/internal/protocol"
-	"crdtsync/internal/transport"
-	"crdtsync/internal/workload"
+	"crdtsync"
 )
 
 func main() {
@@ -36,50 +36,46 @@ func main() {
 	}
 
 	// Ring topology: node-i talks to its two ring neighbors only.
-	nodes := make([]*transport.Node, n)
+	stores := make([]*crdtsync.Store, n)
 	for i := 0; i < n; i++ {
 		prev, next := (i+n-1)%n, (i+1)%n
-		node, err := transport.Start(transport.Config{
-			ID:        ids[i],
-			Listener:  listeners[i],
-			Peers:     map[string]string{ids[prev]: addrs[prev], ids[next]: addrs[next]},
-			Nodes:     ids,
-			Datatype:  workload.GSetType{},
-			Factory:   protocol.NewDeltaBPRR(),
-			SyncEvery: 50 * time.Millisecond,
-		})
+		st, err := crdtsync.Open(
+			crdtsync.WithID(ids[i]),
+			crdtsync.WithListener(listeners[i]),
+			crdtsync.WithPeers(map[string]string{ids[prev]: addrs[prev], ids[next]: addrs[next]}),
+			crdtsync.WithNodes(ids),
+			crdtsync.WithEngine(crdtsync.EngineDelta), // BP+RR, the paper's engine
+			crdtsync.WithSyncEvery(50*time.Millisecond),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer node.Close()
-		nodes[i] = node
+		defer st.Close()
+		stores[i] = st
 	}
 	fmt.Printf("started %d replicas on a TCP ring (delta-based BP+RR, 50ms sync)\n", n)
 
-	// Every replica contributes a few elements.
-	for i, node := range nodes {
+	// Every replica contributes a few elements to the shared set.
+	for i, st := range stores {
+		events := st.Set("events")
 		for j := 0; j < 3; j++ {
-			node.Update(workload.Op{
-				Kind: workload.KindAdd,
-				Elem: fmt.Sprintf("%s-item-%d", ids[i], j),
-			})
+			events.Add(fmt.Sprintf("%s-item-%d", ids[i], j))
 		}
 	}
 	fmt.Printf("applied %d updates across the cluster; waiting for anti-entropy...\n", n*3)
 
-	// Poll until all replicas agree.
+	// Poll until all replicas agree, reading through the zero-clone
+	// handle (Len never copies the set).
 	want := n * 3
 	deadline := time.Now().Add(10 * time.Second)
 	for {
 		counts := make([]int, n)
 		agree := 0
-		for i, node := range nodes {
-			node.Query(func(s lattice.State) {
-				counts[i] = s.(*crdt.GSet).Len()
-				if counts[i] == want {
-					agree++
-				}
-			})
+		for i, st := range stores {
+			counts[i] = st.Set("events").Len()
+			if counts[i] == want {
+				agree++
+			}
 		}
 		fmt.Printf("  element counts: %v\n", counts)
 		if agree == n {
@@ -90,7 +86,5 @@ func main() {
 		}
 		time.Sleep(100 * time.Millisecond)
 	}
-	nodes[0].Query(func(s lattice.State) {
-		fmt.Printf("\nconverged: every replica holds all %d elements\n", s.(*crdt.GSet).Len())
-	})
+	fmt.Printf("\nconverged: every replica holds all %d elements\n", stores[0].Set("events").Len())
 }

@@ -164,6 +164,25 @@ func Roster() []Proto {
 	}
 }
 
+// WorkloadByName maps the command-line workload names to a datatype and
+// its paper generator: "gset", "gcounter", or "gmapK" for K in
+// {10, 30, 60, 100} (keys sizes the gmap key space). Simulation front
+// ends (crdtsim, the examples) use it so the workload vocabulary lives
+// in one place and they need not touch internal/workload.
+func WorkloadByName(name string, keys int) (workload.Datatype, workload.Generator, error) {
+	switch name {
+	case "gset":
+		return workload.GSetType{}, workload.GSetGen{}, nil
+	case "gcounter":
+		return workload.GCounterType{}, workload.GCounterGen{}, nil
+	case "gmap10", "gmap30", "gmap60", "gmap100":
+		k := map[string]int{"gmap10": 10, "gmap30": 30, "gmap60": 60, "gmap100": 100}[name]
+		return workload.GMapType{}, workload.GMapGen{K: k, TotalKeys: keys}, nil
+	default:
+		return nil, nil, fmt.Errorf("exp: unknown workload %q (want gset, gcounter, or gmap10/30/60/100)", name)
+	}
+}
+
 // mesh builds the partial-mesh topology for n nodes.
 func (c Config) mesh(n int) *topology.Graph {
 	return topology.PartialMesh(n, c.MeshDegree, c.Seed)

@@ -1,0 +1,89 @@
+package transport
+
+import (
+	"sort"
+	"strings"
+
+	"crdtsync/internal/lattice"
+)
+
+// Query visits every object of one shard under that shard's lock, in
+// sorted key order, without cloning: fn receives each object's live state.
+// It is the zero-allocation bulk read — Get clones a whole object per
+// call, Query hands out len(shard) states for free — at the price of a
+// narrower contract: fn must not mutate the state, must not retain it
+// past the callback, and must not call back into the store (the shard
+// lock is held). Returning false stops the visit. Out-of-range shard
+// indices visit nothing; NumShards bounds the valid range.
+func (s *Store) Query(shard int, fn func(key string, st lattice.State) bool) {
+	if shard < 0 || shard >= len(s.shards) {
+		return
+	}
+	sh := s.shards[shard]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, k := range sh.engine.Keys() {
+		st := sh.engine.ObjectState(k)
+		if st == nil {
+			continue
+		}
+		if !fn(k, st) {
+			return
+		}
+	}
+}
+
+// View runs fn on one object's live state under its shard lock and
+// reports whether the key exists. It is the single-key form of Query,
+// with the same zero-clone contract: fn must not mutate or retain the
+// state and must not call back into the store.
+func (s *Store) View(key string, fn func(st lattice.State)) bool {
+	sh := s.shardOf(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st := sh.engine.ObjectState(key)
+	if st == nil {
+		return false
+	}
+	fn(st)
+	return true
+}
+
+// Scan visits every object whose key starts with prefix, across all
+// shards, in globally sorted key order — deterministic regardless of the
+// shard count or hash layout. The matching keys are collected first with
+// a bounded lock hold per shard (each shard's sorted key slice is
+// range-searched, not walked), then each object is visited under its own
+// shard lock, so no lock is held across fn calls on different shards and
+// a long scan never freezes a shard for its whole duration. Consequently
+// Scan is not a snapshot: objects mutated between collection and visit
+// are seen in their newer state, and fn observes live states under the
+// same zero-clone contract as Query. Returning false stops the scan.
+func (s *Store) Scan(prefix string, fn func(key string, st lattice.State) bool) {
+	var keys []string
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		all := sh.engine.Keys() // sorted within the shard
+		lo := sort.SearchStrings(all, prefix)
+		hi := lo
+		for hi < len(all) && strings.HasPrefix(all[hi], prefix) {
+			hi++
+		}
+		keys = append(keys, all[lo:hi]...)
+		sh.mu.Unlock()
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		sh := s.shardOf(k)
+		sh.mu.Lock()
+		st := sh.engine.ObjectState(k)
+		ok := true
+		if st != nil {
+			ok = fn(k, st)
+		}
+		sh.mu.Unlock()
+		if !ok {
+			return
+		}
+	}
+}

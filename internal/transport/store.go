@@ -110,6 +110,11 @@ type StoreStats struct {
 	// RepairShards counts full shards this store served to peers that
 	// requested them.
 	RepairShards int
+	// WatchDropped counts change notifications dropped because a
+	// watcher's pending buffer was full — a consumer reading its Events
+	// channel too slowly. The watcher itself learns the same fact from
+	// the Lagged mark on its next event.
+	WatchDropped int
 	// Sent is the aggregated protocol-level transmission accounting.
 	Sent metrics.Transmission
 	// Peers holds the per-peer write-pipeline accounting: frames and
@@ -135,6 +140,7 @@ func (s *StoreStats) Add(o StoreStats) {
 	s.OversizedDropped += o.OversizedDropped
 	s.WantShards += o.WantShards
 	s.RepairShards += o.RepairShards
+	s.WatchDropped += o.WatchDropped
 	s.Sent.Add(o.Sent)
 	for id, ps := range o.Peers {
 		if s.Peers == nil {
@@ -207,7 +213,9 @@ type Store struct {
 	stats     StoreStats
 	stopping  chan struct{}
 	stopOnce  sync.Once
-	wg        sync.WaitGroup // syncLoop + reply flushes
+	wg        sync.WaitGroup // syncLoop + reply flushes + watcher pumps
+	watchMu   sync.RWMutex
+	watchers  []*Watcher
 }
 
 // nextPow2 rounds n up to the next power of two (minimum 1).
@@ -319,9 +327,12 @@ func (s *Store) shardOf(key string) *shard {
 func (s *Store) Update(op workload.Op) {
 	sh := s.shardOf(op.Key)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	sh.engine.LocalOp(op)
 	sh.markDirty()
+	sh.mu.Unlock()
+	if s.hasWatchers() {
+		s.notifyWatchers(op.Key)
+	}
 }
 
 // Get returns a snapshot of one object's state, or nil if the key is
@@ -617,6 +628,9 @@ func (s *Store) deliver(from string, msg protocol.Msg) {
 			sh.markDirty()
 			sh.mu.Unlock()
 		}
+		if s.hasWatchers() {
+			s.notifyDelivered(m)
+		}
 		// A piggybacked digest vector is an advertisement like any other,
 		// compared after the frame's own items have been merged (they are
 		// part of the state the digests describe).
@@ -644,6 +658,27 @@ func (s *Store) deliver(from string, msg protocol.Msg) {
 		}
 		s.flush(b, nil)
 	}()
+}
+
+// notifyDelivered offers the keys an inbound frame's batches touched to
+// the registered watchers. Pure acknowledgements and anti-entropy digests
+// carry no state, so their keys are skipped; everything else notifies
+// conservatively — a delivery the engine found redundant still counts as
+// a (coalesced) change.
+func (s *Store) notifyDelivered(m *protocol.ShardedMsg) {
+	for _, it := range m.Items {
+		bm, ok := it.Msg.(*protocol.BatchMsg)
+		if !ok {
+			continue
+		}
+		for _, om := range bm.Items {
+			switch om.Inner.Kind() {
+			case "ack", "sb-digest":
+				continue
+			}
+			s.notifyWatchers(om.Key)
+		}
+	}
 }
 
 // serveWants answers a peer's shard requests into b: each validly
@@ -739,9 +774,11 @@ func (s *Store) syncLoop() {
 	}
 }
 
-// Close stops the loops and closes every connection. It is idempotent.
+// Close stops the loops, closes every watcher (their Events channels
+// close) and every connection. It is idempotent.
 func (s *Store) Close() error {
 	s.stopOnce.Do(func() { close(s.stopping) })
+	s.closeWatchers()
 	err := s.net.close()
 	s.wg.Wait()
 	return err

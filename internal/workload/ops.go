@@ -1,0 +1,31 @@
+package workload
+
+// Op constructors. Engines and stores consume Op values; constructing
+// them field by field at every call site invites zero-value mistakes
+// (a KindInc with N == 0, a KindAdd with the element in Value), so the
+// typed surfaces build ops exclusively through these.
+
+// Inc returns the operation that increments the counter object named key
+// by n.
+func Inc(key string, n uint64) Op {
+	return Op{Kind: KindInc, Key: key, N: n}
+}
+
+// Add returns the operation that inserts elem into the set object named
+// key.
+func Add(key, elem string) Op {
+	return Op{Kind: KindAdd, Key: key, Elem: elem}
+}
+
+// Remove returns the operation that removes elem from the removable-set
+// object named key (AWSet semantics: add-wins under concurrency).
+func Remove(key, elem string) Op {
+	return Op{Kind: KindRemove, Key: key, Elem: elem}
+}
+
+// Put returns the operation that writes value at the register keyed by
+// key (LWW maps write the register at map key key; version-chain maps
+// ignore value and bump key's version).
+func Put(key, value string) Op {
+	return Op{Kind: KindPut, Key: key, Value: value}
+}

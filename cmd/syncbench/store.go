@@ -155,6 +155,12 @@ func runStoreBench(cfg storeBenchConfig) {
 			total.DigestFrames, total.PiggybackedDigests, total.WantShards, total.RepairShards,
 			total.SplitFrames, total.OversizedDropped)
 	}
+	if total.DroppedItems > 0 {
+		// Nonzero only when a peer's shard count disagrees with ours —
+		// a misconfigured cluster, worth shouting about.
+		fmt.Printf("shard skew: %d inbound items dropped (sender shard index out of local range)\n",
+			total.DroppedItems)
+	}
 	if total.Frames > 0 {
 		fmt.Printf("batching: %.0f keys/frame average, %.1f frames/node\n",
 			float64(total.Sent.Elements)/float64(total.Frames),

@@ -21,6 +21,15 @@ import "crdtsync/internal/lattice"
 //
 // The result is freshly allocated and never aliases a or b.
 func Delta(a, b lattice.State) lattice.State {
+	if a.Leq(b) {
+		// Every y ∈ ⇓a satisfies y ⊑ a ⊑ b, so the whole decomposition is
+		// redundant and Δ(a, b) = ⊥. This is the steady state of inbound
+		// synchronization — a re-delivered δ-group the local state already
+		// covers — and the subset check costs no per-irreducible
+		// materialization, where the general walk below allocates one
+		// singleton per irreducible.
+		return a.Bottom()
+	}
 	d := a.Bottom()
 	a.Irreducibles(func(y lattice.State) bool {
 		if !y.Leq(b) {

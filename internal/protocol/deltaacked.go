@@ -127,10 +127,13 @@ func (e *deltaAcked) Sync(send Sender) {
 // state, otherwise it applies the classic inflation check.
 func (e *deltaAcked) absorb(d lattice.State, from string) {
 	if e.rr {
-		d = core.Delta(d, e.x)
-		if !d.IsBottom() {
-			e.store(d, from)
+		// The subset check recognizes a fully redundant δ-group (the
+		// steady-state re-delivery) without allocating the bottom Δ
+		// would return.
+		if d.Leq(e.x) {
+			return
 		}
+		e.store(core.Delta(d, e.x), from)
 	} else if lattice.StrictlyInflates(d, e.x) {
 		e.store(d, from)
 	}

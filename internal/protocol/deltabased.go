@@ -96,11 +96,14 @@ func (e *deltaBased) Deliver(from string, m Msg, _ Sender) {
 	}
 	d := dm.Delta
 	if e.rr {
-		// RR: extract exactly what strictly inflates the local state.
-		d = core.Delta(d, e.x)
-		if d.IsBottom() {
+		// RR: extract exactly what strictly inflates the local state. A
+		// δ-group the state already covers — every re-delivery at steady
+		// state — is recognized by the subset check alone, without
+		// allocating even the bottom Δ would return.
+		if d.Leq(e.x) {
 			return
 		}
+		d = core.Delta(d, e.x)
 		e.store(d, from)
 		return
 	}

@@ -197,6 +197,25 @@ func (e *perObject) Deliver(from string, m Msg, send Sender) {
 	b.flush(send)
 }
 
+var _ ObjectDeliverer = (*perObject)(nil)
+
+// DeliverObject implements ObjectDeliverer: one object's inbound message,
+// delivered without batch materialization. The map lookups convert the key
+// view in place (the compiler elides the allocation for m[string(b)]), so
+// the steady state — an existing, already-active object — allocates
+// nothing here; the key is materialized only when the object is new or
+// transitions back to active.
+func (e *perObject) DeliverObject(from string, key []byte, m Msg, send Sender) {
+	eng, ok := e.objects[string(key)]
+	if !ok {
+		eng = e.obj(string(key))
+	}
+	eng.Deliver(from, m, send)
+	if _, ok := e.active[string(key)]; !ok {
+		e.active[string(key)] = struct{}{}
+	}
+}
+
 func (e *perObject) Memory() metrics.Memory {
 	var total metrics.Memory
 	for _, key := range e.keys {

@@ -80,3 +80,16 @@ type KeyedEngine interface {
 	// unknown. The state is shared, not cloned; callers must not mutate.
 	ObjectState(key string) lattice.State
 }
+
+// ObjectDeliverer is implemented by keyed engines that accept one object's
+// inbound message directly, without a BatchMsg wrapper. It is the receive
+// path's counterpart to the incremental frame packer: a transport that
+// unpacks a frame into per-object views hands each one straight to the
+// engine — no ObjectMsg slice, no batch materialization, and (key being a
+// byte view into the frame buffer) no key allocation when the object
+// already exists. Replies go to send exactly as they would from Deliver;
+// the caller wraps them for the wire. The key view is only read during
+// the call — implementations copy it if the object is new.
+type ObjectDeliverer interface {
+	DeliverObject(from string, key []byte, m Msg, send Sender)
+}

@@ -8,7 +8,6 @@ import (
 	"time"
 
 	"crdtsync/internal/codec"
-	"crdtsync/internal/protocol"
 )
 
 // DialFunc establishes the outbound connection to one peer: id is the
@@ -419,9 +418,12 @@ func newPeerNet(id string, peers map[string]string, ln net.Listener, dial DialFu
 }
 
 // start launches the accept loop and one writer goroutine per peer;
-// deliver runs for every decoded inbound message, on the connection's
-// read goroutine.
-func (p *peerNet) start(deliver func(from string, m protocol.Msg)) {
+// deliver runs for every inbound frame, on the connection's read
+// goroutine, with the raw encoded message bytes — owners unpack or decode
+// as their hot path requires. The bytes alias the connection's reused
+// read buffer and are valid only for the duration of the call; a non-nil
+// error drops the connection (a corrupt peer).
+func (p *peerNet) start(deliver func(from string, frame []byte) error) {
 	p.wg.Add(1)
 	go p.acceptLoop(deliver)
 	for _, pc := range p.peers {
@@ -466,7 +468,7 @@ func (p *peerNet) peerStats() map[string]PeerStats {
 	return out
 }
 
-func (p *peerNet) acceptLoop(deliver func(from string, m protocol.Msg)) {
+func (p *peerNet) acceptLoop(deliver func(from string, frame []byte) error) {
 	defer p.wg.Done()
 	for {
 		conn, err := p.ln.Accept()
@@ -486,7 +488,7 @@ func (p *peerNet) acceptLoop(deliver func(from string, m protocol.Msg)) {
 	}
 }
 
-func (p *peerNet) readLoop(conn net.Conn, deliver func(from string, m protocol.Msg)) {
+func (p *peerNet) readLoop(conn net.Conn, deliver func(from string, frame []byte) error) {
 	defer p.wg.Done()
 	defer func() {
 		conn.Close()
@@ -494,16 +496,18 @@ func (p *peerNet) readLoop(conn net.Conn, deliver func(from string, m protocol.M
 		delete(p.accepted, conn)
 		p.mu.Unlock()
 	}()
+	// One read buffer for the connection's lifetime: deliver is
+	// synchronous and the decoders copy whatever outlives the call, so
+	// the next frame may safely overwrite the previous one's bytes.
+	var buf []byte
 	for {
-		from, data, err := readFrame(conn)
+		from, data, err := readFrameInto(conn, &buf)
 		if err != nil {
 			return
 		}
-		msg, _, err := codec.DecodeMsg(data)
-		if err != nil {
+		if err := deliver(from, data); err != nil {
 			return // corrupt peer; drop the connection
 		}
-		deliver(from, msg)
 	}
 }
 

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"net"
@@ -110,6 +111,14 @@ type StoreStats struct {
 	// RepairShards counts full shards this store served to peers that
 	// requested them.
 	RepairShards int
+	// DroppedItems counts inbound shard items discarded because their
+	// shard index was outside this store's shard range — shard-map skew
+	// between sender and receiver (the shard index is frame routing
+	// metadata, so every replica in a cluster must run the same count).
+	// A steadily growing value means misconfiguration: that data never
+	// applies here, and digest vectors of mismatched length are likewise
+	// incomparable, so anti-entropy cannot repair it either.
+	DroppedItems int
 	// WatchDropped counts change notifications dropped because a
 	// watcher's pending buffer was full — a consumer reading its Events
 	// channel too slowly. The watcher itself learns the same fact from
@@ -140,6 +149,7 @@ func (s *StoreStats) Add(o StoreStats) {
 	s.OversizedDropped += o.OversizedDropped
 	s.WantShards += o.WantShards
 	s.RepairShards += o.RepairShards
+	s.DroppedItems += o.DroppedItems
 	s.WatchDropped += o.WatchDropped
 	s.Sent.Add(o.Sent)
 	for id, ps := range o.Peers {
@@ -171,6 +181,9 @@ func (s *StoreStats) Add(o StoreStats) {
 type shard struct {
 	mu     sync.Mutex
 	engine protocol.KeyedEngine
+	// od is the same engine through its per-object delivery interface,
+	// asserted once at construction for the frame-delivery hot path.
+	od protocol.ObjectDeliverer
 	// dirty marks a shard that needs a Sync visit: touched by a local
 	// update or an inbound delivery since its last visit, or still
 	// emitting (e.g. unacked retransmissions) on that visit.
@@ -209,13 +222,17 @@ type Store struct {
 	mask      uint32
 	neighbors []string // sorted peer ids
 	ticks     atomic.Uint64
-	statsMu   sync.Mutex
-	stats     StoreStats
-	stopping  chan struct{}
-	stopOnce  sync.Once
-	wg        sync.WaitGroup // syncLoop + reply flushes + watcher pumps
-	watchMu   sync.RWMutex
-	watchers  []*Watcher
+	// deliverLocks counts the shard-lock acquisitions of the inbound
+	// delivery path — one per touched shard per frame, an invariant an
+	// instrumented test pins (the eager path took one per item).
+	deliverLocks atomic.Uint64
+	statsMu      sync.Mutex
+	stats        StoreStats
+	stopping     chan struct{}
+	stopOnce     sync.Once
+	wg           sync.WaitGroup // syncLoop + watcher pumps
+	watchMu      sync.RWMutex
+	watchers     []*Watcher
 }
 
 // nextPow2 rounds n up to the next power of two (minimum 1).
@@ -265,7 +282,11 @@ func StartStore(cfg StoreConfig) (*Store, error) {
 		if !ok {
 			return nil, fmt.Errorf("transport: per-object engine does not implement KeyedEngine")
 		}
-		shards[i] = &shard{engine: keyed}
+		od, ok := eng.(protocol.ObjectDeliverer)
+		if !ok {
+			return nil, fmt.Errorf("transport: per-object engine does not implement ObjectDeliverer")
+		}
+		shards[i] = &shard{engine: keyed, od: od}
 	}
 	ln := cfg.Listener
 	if ln == nil {
@@ -456,11 +477,86 @@ func newOutBatch() *outBatch {
 // sender adapts a shard's engine sends into tagged shard items.
 func (b *outBatch) sender(shardIdx uint32) protocol.Sender {
 	return func(to string, m protocol.Msg) {
-		if _, ok := b.perDest[to]; !ok {
+		if len(b.perDest[to]) == 0 {
 			b.order = append(b.order, to)
 		}
 		b.perDest[to] = append(b.perDest[to], protocol.ShardItem{Shard: shardIdx, Msg: m})
 	}
+}
+
+// reset clears the batch for reuse, keeping the per-destination slice
+// capacity (the items themselves are zeroed so pooled batches do not pin
+// message memory between frames).
+func (b *outBatch) reset() {
+	for _, to := range b.order {
+		items := b.perDest[to]
+		clear(items)
+		b.perDest[to] = items[:0]
+	}
+	b.order = b.order[:0]
+}
+
+// frameViews pools the unpacked-frame views the inbound path fills per
+// frame; a connection at steady state recycles one view (and its item
+// slices) across every frame it receives.
+var frameViews = sync.Pool{New: func() any { return new(codec.FrameView) }}
+
+// deliverState bundles the per-frame delivery scratch — the outbound
+// reply batch, the per-object reply sink, and the Sender method value
+// bound to it — so one pool Get covers all three and the method-value
+// allocation happens once per pooled instance, not once per frame.
+type deliverState struct {
+	b    *outBatch
+	sink replySink
+	send protocol.Sender
+}
+
+var deliverStates = sync.Pool{New: func() any {
+	d := &deliverState{b: newOutBatch()}
+	d.send = d.sink.send
+	return d
+}}
+
+func getDeliverState() *deliverState { return deliverStates.Get().(*deliverState) }
+
+func (d *deliverState) release() {
+	d.b.reset()
+	d.sink.key = nil // never pin a frame buffer across frames
+	deliverStates.Put(d)
+}
+
+// replySink collects the replies (acks, Scuttlebutt pulls) the engines
+// emit while a shard group is being applied, keyed by destination, and
+// flushes them as one BatchMsg per destination per shard group — the
+// receive-side mirror of the per-object batcher, without allocating when
+// a frame produces no replies (the common delta-based case).
+type replySink struct {
+	shard   uint32
+	key     []byte
+	pending map[string][]protocol.ObjectMsg
+	order   []string
+}
+
+func (d *replySink) send(to string, m protocol.Msg) {
+	if d.pending == nil {
+		d.pending = make(map[string][]protocol.ObjectMsg)
+	}
+	if len(d.pending[to]) == 0 {
+		d.order = append(d.order, to)
+	}
+	d.pending[to] = append(d.pending[to], protocol.ObjectMsg{Key: string(d.key), Inner: m})
+}
+
+// flush wraps the pending replies into per-destination batches on b. The
+// accumulated slices are handed to BatchOf and must not be reused, so the
+// map entries are reset to nil rather than truncated.
+func (d *replySink) flush(b *outBatch) {
+	for _, to := range d.order {
+		items := d.pending[to]
+		d.pending[to] = nil // BatchOf keeps the slice; never reuse it
+		b.sender(d.shard)(to, protocol.BatchOf(items))
+	}
+	d.order = d.order[:0]
 }
 
 // SyncNow runs one synchronization step over the dirty shards and flushes
@@ -471,7 +567,9 @@ func (b *outBatch) sender(shardIdx uint32) protocol.Sender {
 // that is getting one anyway, as a standalone heartbeat only to peers the
 // tick has nothing else to say to (every peer, on an idle tick).
 func (s *Store) SyncNow() {
-	b := newOutBatch()
+	d := getDeliverState()
+	defer d.release()
+	b := d.b
 	for i, sh := range s.shards {
 		if !sh.dirty.Load() {
 			continue
@@ -606,78 +704,135 @@ func (s *Store) transmit(to string, data []byte, cost metrics.Transmission, kind
 	s.statsMu.Unlock()
 }
 
-// deliver routes one inbound frame to its handler: sharded data frames to
-// their shards (coalescing any replies — acks, Scuttlebutt pulls — the
-// same way syncs are), digest frames to the anti-entropy comparison.
-// Replies are flushed on their own goroutine: the read goroutine must
-// never block on an outbound TCP write, or two nodes with mutually full
-// send buffers would stop draining their sockets and deadlock each other.
-func (s *Store) deliver(from string, msg protocol.Msg) {
-	b := newOutBatch()
-	var reply *protocol.DigestMsg
-	switch m := msg.(type) {
-	case *protocol.ShardedMsg:
-		for _, it := range m.Items {
-			idx := int(it.Shard)
-			if idx >= len(s.shards) {
-				continue // shard-count mismatch; drop the item
-			}
-			sh := s.shards[idx]
-			sh.mu.Lock()
-			sh.engine.Deliver(from, it.Msg, b.sender(it.Shard))
-			sh.markDirty()
-			sh.mu.Unlock()
-		}
-		if s.hasWatchers() {
-			s.notifyDelivered(m)
-		}
-		// A piggybacked digest vector is an advertisement like any other,
-		// compared after the frame's own items have been merged (they are
-		// part of the state the digests describe).
-		reply = s.compareDigests(m.Digests)
-	case *protocol.DigestMsg:
-		s.serveWants(from, m.Want, b)
-		reply = s.compareDigests(m.Digests)
-	default:
-		return // stores speak only sharded and digest frames
+// deliver routes one inbound frame to its handler: sharded data frames
+// through the single-pass unpacker straight to their shards, anything
+// else (standalone digest frames) through the eager decoder. The frame
+// bytes alias the connection's read buffer and are only valid during the
+// call, so the view is reset before it returns to the pool. A non-nil
+// error drops the connection (corrupt peer).
+func (s *Store) deliver(from string, frame []byte) error {
+	v := frameViews.Get().(*codec.FrameView)
+	err := codec.UnpackFrame(frame, len(s.shards), v)
+	switch {
+	case err == nil:
+		err = s.deliverSharded(from, v)
+	case errors.Is(err, codec.ErrNotSharded):
+		err = s.deliverControl(from, frame)
 	}
-	if len(b.order) == 0 && reply == nil {
-		return
-	}
-	// Deliver runs on a peerNet read goroutine, all of which finish
-	// before Close's wg.Wait starts, so this Add cannot race it.
-	s.wg.Add(1)
-	go func() {
-		defer s.wg.Done()
-		if reply != nil {
-			data, err := codec.EncodeMsg(reply)
-			if err != nil {
-				panic(err)
-			}
-			s.transmit(from, data, reply.Cost(), frameDigest)
-		}
-		s.flush(b, nil)
-	}()
+	v.Reset() // drop references to the read buffer before pooling
+	frameViews.Put(v)
+	return err
 }
 
-// notifyDelivered offers the keys an inbound frame's batches touched to
-// the registered watchers. Pure acknowledgements and anti-entropy digests
-// carry no state, so their keys are skipped; everything else notifies
-// conservatively — a delivery the engine found redundant still counts as
-// a (coalesced) change.
-func (s *Store) notifyDelivered(m *protocol.ShardedMsg) {
-	for _, it := range m.Items {
-		bm, ok := it.Msg.(*protocol.BatchMsg)
-		if !ok {
-			continue
-		}
-		for _, om := range bm.Items {
-			switch om.Inner.Kind() {
-			case "ack", "sb-digest":
+// deliverSharded applies one unpacked data frame. Each touched shard's
+// lock is taken exactly once per frame — the whole group of that shard's
+// items (across every batch in the frame) is decoded and applied under
+// the single hold — instead of once per item as the eager path did, and
+// replies are coalesced per shard group just as syncs are. Replies flush
+// inline on the read goroutine: transmit is a non-blocking enqueue onto
+// the per-peer write pipelines, so no TCP write happens here and two
+// nodes with mutually full send buffers cannot deadlock each other — the
+// hazard that used to force a goroutine per inbound frame.
+func (s *Store) deliverSharded(from string, v *codec.FrameView) error {
+	d := getDeliverState()
+	defer d.release()
+	watched := s.hasWatchers()
+	for _, g := range v.Groups() {
+		sh := s.shards[g.Shard]
+		d.sink.shard = g.Shard
+		var derr error
+		sh.mu.Lock()
+		s.deliverLocks.Add(1)
+		for i := range g.Items {
+			iv := &g.Items[i]
+			m, err := iv.Msg()
+			if err != nil {
+				// The skip walker accepted what the decoder rejects: a
+				// codec bug, surfaced loudly by dropping the connection.
+				// The partial application is harmless — deliveries are
+				// idempotent joins and the peer resends on reconnect.
+				derr = err
+				break
+			}
+			if iv.Key == nil {
+				// A keyless (non-batch) item: hand it to the engine whole,
+				// exactly as the eager path did (perObject ignores it).
+				sh.engine.Deliver(from, m, d.b.sender(g.Shard))
 				continue
 			}
-			s.notifyWatchers(om.Key)
+			d.sink.key = iv.Key
+			sh.od.DeliverObject(from, iv.Key, m, d.send)
 		}
+		sh.markDirty()
+		sh.mu.Unlock()
+		d.sink.flush(d.b)
+		if derr != nil {
+			return derr
+		}
+		if watched {
+			s.notifyGroup(g)
+		}
+	}
+	if v.Dropped > 0 {
+		s.statsMu.Lock()
+		s.stats.DroppedItems += v.Dropped
+		s.statsMu.Unlock()
+	}
+	// A piggybacked digest vector is an advertisement like any other,
+	// compared after the frame's own items have been merged (they are
+	// part of the state the digests describe).
+	s.sendReplies(from, s.compareDigests(v.Digests), d.b)
+	return nil
+}
+
+// notifyGroup offers the keys one shard group's items touched to the
+// registered watchers. Pure acknowledgements and anti-entropy digests
+// carry no state, so their items are skipped — classified by wire tag,
+// without decoding; everything else notifies conservatively — a delivery
+// the engine found redundant still counts as a (coalesced) change.
+func (s *Store) notifyGroup(g codec.ItemGroup) {
+	for i := range g.Items {
+		iv := &g.Items[i]
+		if iv.Key == nil || codec.IsAckTag(iv.Tag()) {
+			continue
+		}
+		s.notifyWatchers(string(iv.Key))
+	}
+}
+
+// deliverControl handles the non-sharded frames a store speaks: the
+// standalone DigestMsg (advertisement heartbeat or shard request).
+// Anything else well-formed is ignored, preserving the eager path's
+// tolerance; undecodable bytes drop the connection.
+func (s *Store) deliverControl(from string, frame []byte) error {
+	msg, _, err := codec.DecodeMsg(frame)
+	if err != nil {
+		return err
+	}
+	dm, ok := msg.(*protocol.DigestMsg)
+	if !ok {
+		return nil // stores speak only sharded and digest frames
+	}
+	d := getDeliverState()
+	defer d.release()
+	s.serveWants(from, dm.Want, d.b)
+	s.sendReplies(from, s.compareDigests(dm.Digests), d.b)
+	return nil
+}
+
+// sendReplies ships an inbound frame's responses — the digest request, if
+// any, plus whatever the engines emitted into b — through the per-peer
+// write pipelines.
+func (s *Store) sendReplies(from string, reply *protocol.DigestMsg, b *outBatch) {
+	if reply != nil {
+		data, err := codec.EncodeMsg(reply)
+		if err != nil {
+			panic(err)
+		}
+		s.transmit(from, data, reply.Cost(), frameDigest)
+	}
+	if len(b.order) > 0 {
+		s.flush(b, nil)
 	}
 }
 

@@ -114,21 +114,20 @@ func Start(cfg Config) (*Node, error) {
 		engine:   engine,
 		stopping: make(chan struct{}),
 	}
-	n.net.start(func(from string, msg protocol.Msg) {
-		// Replies are flushed on their own goroutine: the read goroutine
-		// must never block on an outbound TCP write, or two nodes with
-		// mutually full send buffers would deadlock each other.
-		out := n.collect(func(send protocol.Sender) {
-			n.engine.Deliver(from, msg, send)
-		})
-		if len(out) == 0 {
-			return
+	n.net.start(func(from string, frame []byte) error {
+		msg, _, err := codec.DecodeMsg(frame)
+		if err != nil {
+			return err // corrupt peer; the read loop drops the connection
 		}
-		n.wg.Add(1)
-		go func() {
-			defer n.wg.Done()
-			n.transmitAll(out)
-		}()
+		// Replies flush inline on the read goroutine: transmitAll is a
+		// non-blocking enqueue onto the per-peer write pipelines, so no
+		// TCP write ever happens here and two nodes with mutually full
+		// send buffers can no longer deadlock each other — the hazard
+		// that used to force a goroutine per inbound frame.
+		n.transmitAll(n.collect(func(send protocol.Sender) {
+			n.engine.Deliver(from, msg, send)
+		}))
+		return nil
 	})
 	n.wg.Add(1)
 	go n.syncLoop()
@@ -231,8 +230,19 @@ func writeFrame(w io.Writer, from string, msg []byte) error {
 	return err
 }
 
-// readFrame parses one frame.
+// readFrame parses one frame into a fresh buffer.
 func readFrame(r io.Reader) (from string, msg []byte, err error) {
+	var buf []byte
+	return readFrameInto(r, &buf)
+}
+
+// readFrameInto parses one frame into *buf, growing it only when a frame
+// exceeds its capacity, so a connection's read loop amortizes one buffer
+// across every frame it ever receives. The returned msg aliases *buf and
+// is valid only until the next call with the same buffer — the deliver
+// path must be done with the bytes (or have copied what it keeps, which
+// the codec's decoders always do) before the loop reads the next frame.
+func readFrameInto(r io.Reader, buf *[]byte) (from string, msg []byte, err error) {
 	var hdr [4]byte
 	if _, err = io.ReadFull(r, hdr[:]); err != nil {
 		return "", nil, err
@@ -241,7 +251,10 @@ func readFrame(r io.Reader) (from string, msg []byte, err error) {
 	if total > maxFrameBytes {
 		return "", nil, ErrFrameTooLarge
 	}
-	body := make([]byte, total)
+	if uint32(cap(*buf)) < total {
+		*buf = make([]byte, total)
+	}
+	body := (*buf)[:total]
 	if _, err = io.ReadFull(r, body); err != nil {
 		return "", nil, err
 	}

@@ -155,6 +155,16 @@ func runStoreBench(cfg storeBenchConfig) {
 			total.DigestFrames, total.PiggybackedDigests, total.WantShards, total.RepairShards,
 			total.SplitFrames, total.OversizedDropped)
 	}
+	if total.TreeRounds > 0 || total.DedupedWants > 0 {
+		fmt.Printf("repair: %d drill-down rounds, %d key ranges served, %s repair payload, %d wants deduped against in-flight repairs\n",
+			total.TreeRounds, total.RepairRanges, fmtBytes(total.RepairBytes), total.DedupedWants)
+	}
+	if total.DigestShardMismatch > 0 {
+		// Nonzero only when a peer advertises digests for a different shard
+		// count than ours — a misconfigured cluster, worth shouting about.
+		fmt.Printf("digest skew: %d advertisements discarded (peer shard count differs from ours)\n",
+			total.DigestShardMismatch)
+	}
 	if total.DroppedItems > 0 {
 		// Nonzero only when a peer's shard count disagrees with ours —
 		// a misconfigured cluster, worth shouting about.

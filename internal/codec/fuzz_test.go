@@ -80,11 +80,19 @@ func FuzzDecodeMsg(f *testing.F) {
 		protocol.DigestCost([]uint64{0, 1, 2}, nil)))
 	seed(protocol.NewDigestMsg(nil, []uint32{0, 5, 4294967295},
 		protocol.DigestCost(nil, []uint32{0, 5, 6})))
+	// The Merkle drill-down rounds (query, answer, want).
+	seed(protocol.NewTreeMsg(3, 1, []uint32{0, 15}, nil, nil, nil,
+		protocol.TreeCost([]uint32{0, 15}, nil, nil, nil)))
+	seed(protocol.NewTreeMsg(0, 2, nil, []uint32{7}, []uint64{^uint64(0)}, nil,
+		protocol.TreeCost(nil, []uint32{7}, []uint64{0}, nil)))
+	seed(protocol.NewTreeMsg(1, protocol.TreeDepth, nil, nil, nil, []uint32{protocol.TreeLeaves - 1},
+		protocol.TreeCost(nil, nil, nil, []uint32{0})))
 	f.Add([]byte{64})
 	f.Add([]byte{70, 1, 2, 3})
 	f.Add([]byte{72, 0, 0, 0, 0, 2, 1})                   // sharded, 2 items, truncated
 	f.Add([]byte{73, 0, 0, 0, 0, 255, 255, 255, 255, 15}) // digest, hostile count
 	f.Add([]byte{74, 0, 0, 0, 0, 255, 255, 255, 255, 15}) // sharded+digest, hostile count
+	f.Add([]byte{75, 0, 0, 0, 0, 0, 3, 0, 255, 255, 15})  // tree, hostile node count
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, n, err := codec.DecodeMsg(data)
@@ -110,6 +118,77 @@ func FuzzDecodeMsg(f *testing.F) {
 		if m2.Kind() != m.Kind() || m2.Cost() != m.Cost() {
 			t.Fatalf("re-decode changed kind/cost: %s/%+v vs %s/%+v",
 				m2.Kind(), m2.Cost(), m.Kind(), m.Cost())
+		}
+		e2, err := codec.EncodeMsg(m2)
+		if err != nil {
+			t.Fatalf("second re-encode failed: %v", err)
+		}
+		if !bytes.Equal(e1, e2) {
+			t.Fatalf("encoding not a fixed point: %x vs %x", e1, e2)
+		}
+	})
+}
+
+// FuzzDigest targets the anti-entropy control plane specifically: the
+// digest advertisement/request and the Merkle drill-down rounds, the
+// messages a store decodes straight off hostile connections. Beyond the
+// fixed-point check, accepted tree messages must honor the invariants
+// the transport relies on without re-validating: parallel nodes/hashes,
+// a level inside the drill-down range, and every index under its
+// level's node count.
+func FuzzDigest(f *testing.F) {
+	seed := func(m protocol.Msg) {
+		if d, err := codec.EncodeMsg(m); err == nil {
+			f.Add(d)
+		}
+	}
+	seed(protocol.NewDigestMsg([]uint64{0, ^uint64(0), 0xdeadbeef}, nil,
+		protocol.DigestCost([]uint64{0, 1, 2}, nil)))
+	seed(protocol.NewDigestMsg(nil, []uint32{0, 5, 4294967295},
+		protocol.DigestCost(nil, []uint32{0, 5, 6})))
+	seed(protocol.NewTreeMsg(0, 1, []uint32{0, 1, 2, 15}, nil, nil, nil,
+		protocol.TreeCost([]uint32{0, 1, 2, 15}, nil, nil, nil)))
+	seed(protocol.NewTreeMsg(7, 2, nil, []uint32{0, 255}, []uint64{1, ^uint64(0)}, nil,
+		protocol.TreeCost(nil, []uint32{0, 255}, []uint64{1, 2}, nil)))
+	seed(protocol.NewTreeMsg(4294967295, protocol.TreeDepth, nil, nil, nil,
+		[]uint32{0, protocol.TreeLeaves - 1},
+		protocol.TreeCost(nil, nil, nil, []uint32{0, 1})))
+	f.Add([]byte{73, 0, 0, 0, 0, 255, 255, 255, 255, 15}) // digest, hostile count
+	f.Add([]byte{75, 0, 0, 0, 0, 0, 0, 0, 0, 0})          // tree, level 0
+	f.Add([]byte{75, 0, 0, 0, 0, 0, 1, 1, 16, 0, 0})      // tree, query index == node count
+	f.Add([]byte{75, 0, 0, 0, 0, 0, 3, 0, 1, 2, 1, 2, 3}) // tree, truncated pair hash
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, n, err := codec.DecodeMsg(data)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		if tm, ok := m.(*protocol.TreeMsg); ok {
+			if len(tm.Nodes) != len(tm.Hashes) {
+				t.Fatalf("accepted %d nodes with %d hashes", len(tm.Nodes), len(tm.Hashes))
+			}
+			if tm.Level < 1 || tm.Level > protocol.TreeDepth {
+				t.Fatalf("accepted level %d", tm.Level)
+			}
+			maxNode := uint32(protocol.TreeNodesAt(int(tm.Level)))
+			for _, lst := range [][]uint32{tm.Query, tm.Nodes, tm.Want} {
+				for _, idx := range lst {
+					if idx >= maxNode {
+						t.Fatalf("accepted node index %d at level %d (max %d)", idx, tm.Level, maxNode)
+					}
+				}
+			}
+		}
+		e1, err := codec.EncodeMsg(m)
+		if err != nil {
+			t.Fatalf("decoded message failed to re-encode: %v", err)
+		}
+		m2, _, err := codec.DecodeMsg(e1)
+		if err != nil {
+			t.Fatalf("re-encoded message failed to decode: %v", err)
 		}
 		e2, err := codec.EncodeMsg(m2)
 		if err != nil {

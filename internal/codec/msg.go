@@ -24,6 +24,7 @@ const (
 	tagShardedMsg
 	tagDigestMsg
 	tagShardedDigestMsg
+	tagTreeMsg
 )
 
 // maxMsgNesting bounds message nesting during decoding. Legitimate
@@ -250,6 +251,30 @@ func appendMsg(b []byte, m protocol.Msg) ([]byte, error) {
 			// Digests are hash values: fixed 8-byte words, since uvarint
 			// averages >9 bytes on uniformly random 64-bit values.
 			b = binary.BigEndian.AppendUint64(b, d)
+		}
+		b = binary.AppendUvarint(b, uint64(len(v.Want)))
+		for _, w := range v.Want {
+			b = binary.AppendUvarint(b, uint64(w))
+		}
+		return b, nil
+
+	case *protocol.TreeMsg:
+		if len(v.Nodes) != len(v.Hashes) {
+			return nil, fmt.Errorf("codec: tree message with %d nodes but %d hashes", len(v.Nodes), len(v.Hashes))
+		}
+		b = append(b, tagTreeMsg)
+		b = appendCost(b, v.Cost())
+		b = binary.AppendUvarint(b, uint64(v.Shard))
+		b = append(b, v.Level)
+		b = binary.AppendUvarint(b, uint64(len(v.Query)))
+		for _, q := range v.Query {
+			b = binary.AppendUvarint(b, uint64(q))
+		}
+		b = binary.AppendUvarint(b, uint64(len(v.Nodes)))
+		for i, idx := range v.Nodes {
+			b = binary.AppendUvarint(b, uint64(idx))
+			// Hashes are fixed 8-byte words, like digest vectors.
+			b = binary.BigEndian.AppendUint64(b, v.Hashes[i])
 		}
 		b = binary.AppendUvarint(b, uint64(len(v.Want)))
 		for _, w := range v.Want {
@@ -516,7 +541,98 @@ func readMsgBody(tag byte, data []byte, depth int) (protocol.Msg, int, error) {
 		}
 		return protocol.NewDigestMsg(digests, want, cost), n, nil
 
+	case tagTreeMsg:
+		shard, m, err := readUvarint(data[n:])
+		if err != nil {
+			return nil, 0, err
+		}
+		if shard > math.MaxUint32 {
+			return nil, 0, fmt.Errorf("codec: shard index %d out of range", shard)
+		}
+		n += m
+		if len(data) <= n {
+			return nil, 0, ErrTruncated
+		}
+		level := data[n]
+		n++
+		// The level bounds every node index below: tree geometry is a
+		// protocol constant, so a level outside the drill-down range is
+		// corrupt on its face, exactly like an oversized shard index.
+		if level < 1 || level > protocol.TreeDepth {
+			return nil, 0, fmt.Errorf("codec: tree level %d out of range", level)
+		}
+		maxNode := uint64(protocol.TreeNodesAt(int(level)))
+		query, m, err := readTreeIndices(data[n:], maxNode)
+		if err != nil {
+			return nil, 0, err
+		}
+		n += m
+		ncount, m, err := readUvarint(data[n:])
+		if err != nil {
+			return nil, 0, err
+		}
+		n += m
+		// Each (node, hash) pair is at least 9 bytes, so a hostile count
+		// is checked against the remaining bytes before allocating.
+		if ncount > uint64(len(data)-n)/9 {
+			return nil, 0, ErrTruncated
+		}
+		var nodes []uint32
+		var hashes []uint64
+		if ncount > 0 {
+			nodes = make([]uint32, 0, ncount)
+			hashes = make([]uint64, 0, ncount)
+			for i := uint64(0); i < ncount; i++ {
+				idx, m2, err := readUvarint(data[n:])
+				if err != nil {
+					return nil, 0, err
+				}
+				if idx >= maxNode {
+					return nil, 0, fmt.Errorf("codec: tree node %d out of range at level %d", idx, level)
+				}
+				n += m2
+				if len(data)-n < 8 {
+					return nil, 0, ErrTruncated
+				}
+				nodes = append(nodes, uint32(idx))
+				hashes = append(hashes, binary.BigEndian.Uint64(data[n:]))
+				n += 8
+			}
+		}
+		want, m, err := readTreeIndices(data[n:], maxNode)
+		if err != nil {
+			return nil, 0, err
+		}
+		n += m
+		return protocol.NewTreeMsg(uint32(shard), level, query, nodes, hashes, want, cost), n, nil
+
 	default:
 		return nil, 0, fmt.Errorf("%w: %d", ErrUnknownTag, tag)
 	}
+}
+
+// readTreeIndices decodes one of a tree message's node-index lists,
+// rejecting indices at or beyond maxNode (the node count of the message's
+// level) — never truncating a corrupt index into the valid range.
+func readTreeIndices(data []byte, maxNode uint64) ([]uint32, int, error) {
+	count, n, err := readUvarint(data)
+	if err != nil {
+		return nil, 0, err
+	}
+	var out []uint32
+	if count > 0 {
+		out = make([]uint32, 0, capHint(count, data[n:]))
+		for i := uint64(0); i < count; i++ {
+			v, m, err := readUvarint(data[n:])
+			if err != nil {
+				return nil, 0, err
+			}
+			if v >= maxNode {
+				return nil, 0, fmt.Errorf("codec: tree node %d out of range", v)
+			}
+			n += m
+			out = append(out, uint32(v))
+		}
+	}
+	return out, n, nil
 }

@@ -300,6 +300,85 @@ func TestDigestMsgRoundTrip(t *testing.T) {
 	}
 }
 
+func TestTreeMsgRoundTrip(t *testing.T) {
+	// Query round (drill-down request).
+	q := protocol.NewTreeMsg(7, 1, []uint32{0, 5, 15}, nil, nil, nil, cost())
+	gotQ := msgRoundTrip(t, q).(*protocol.TreeMsg)
+	if gotQ.Shard != 7 || gotQ.Level != 1 {
+		t.Errorf("shard/level = %d/%d", gotQ.Shard, gotQ.Level)
+	}
+	if len(gotQ.Query) != 3 || gotQ.Query[2] != 15 || gotQ.Nodes != nil || gotQ.Want != nil {
+		t.Errorf("query round = %+v", gotQ)
+	}
+	// Answer round (nodes + hashes, parallel slices).
+	a := protocol.NewTreeMsg(0, 2, nil, []uint32{3, 255}, []uint64{0, ^uint64(0)}, nil, cost())
+	gotA := msgRoundTrip(t, a).(*protocol.TreeMsg)
+	if len(gotA.Nodes) != 2 || gotA.Nodes[1] != 255 || len(gotA.Hashes) != 2 || gotA.Hashes[1] != ^uint64(0) {
+		t.Errorf("answer round = %+v", gotA)
+	}
+	// Want round (leaf-level range request).
+	w := protocol.NewTreeMsg(4294967295, protocol.TreeDepth, nil, nil, nil,
+		[]uint32{0, protocol.TreeLeaves - 1}, cost())
+	gotW := msgRoundTrip(t, w).(*protocol.TreeMsg)
+	if gotW.Shard != 4294967295 || len(gotW.Want) != 2 || gotW.Want[1] != protocol.TreeLeaves-1 {
+		t.Errorf("want round = %+v", gotW)
+	}
+}
+
+func TestEncodeTreeMsgMismatchedHashes(t *testing.T) {
+	m := protocol.NewTreeMsg(0, 1, nil, []uint32{1, 2}, []uint64{9}, nil, cost())
+	if _, err := codec.EncodeMsg(m); err == nil {
+		t.Error("nodes/hashes length mismatch should fail encoding")
+	}
+}
+
+func TestDecodeTreeHostileInput(t *testing.T) {
+	header := []byte{75, 0, 0, 0, 0, 0} // tagTreeMsg, zero cost, shard 0
+	// Levels outside [1, TreeDepth] bound no node index and must fail.
+	for _, level := range []byte{0, protocol.TreeDepth + 1, 255} {
+		data := append(append([]byte{}, header...), level)
+		data = append(data, 0, 0, 0) // empty query/nodes/want
+		if _, _, err := codec.DecodeMsg(data); err == nil {
+			t.Errorf("level %d should fail decoding", level)
+		}
+	}
+	// A query index at the level's node count must be rejected, not
+	// passed through to alias another node.
+	data := append(append([]byte{}, header...), 1) // level 1: 16 nodes
+	data = binary.AppendUvarint(data, 1)           // one query index
+	data = binary.AppendUvarint(data, 16)          // == TreeNodesAt(1)
+	if _, _, err := codec.DecodeMsg(data); err == nil {
+		t.Error("out-of-range query index should fail decoding")
+	}
+	// A node count promising far more pairs than the payload holds must
+	// fail before allocating.
+	data = append(append([]byte{}, header...), 3, 0) // leaf level, no query
+	data = binary.AppendUvarint(data, 1<<50)
+	if _, _, err := codec.DecodeMsg(data); err == nil {
+		t.Error("hostile node count should fail decoding")
+	}
+	// A pair whose hash is truncated must fail.
+	data = append(append([]byte{}, header...), 3, 0)
+	data = binary.AppendUvarint(data, 1) // one pair
+	data = binary.AppendUvarint(data, 2) // node index
+	data = append(data, 1, 2, 3)         // only 3 of 8 hash bytes
+	if _, _, err := codec.DecodeMsg(data); err == nil {
+		t.Error("truncated node hash should fail decoding")
+	}
+	// A shard index beyond uint32 must be rejected, as everywhere else.
+	data = []byte{75, 0, 0, 0, 0}
+	data = binary.AppendUvarint(data, uint64(1)<<35)
+	data = append(data, 1, 0, 0, 0)
+	if _, _, err := codec.DecodeMsg(data); err == nil {
+		t.Error("out-of-range shard index should fail decoding")
+	}
+	// Truncated before the level byte.
+	data = []byte{75, 0, 0, 0, 0, 0}
+	if _, _, err := codec.DecodeMsg(data); err == nil {
+		t.Error("message truncated at level should fail decoding")
+	}
+}
+
 func TestDecodeDigestHostileInput(t *testing.T) {
 	header := []byte{73, 0, 0, 0, 0} // tagDigestMsg, zero cost
 	// A count promising 2^60 digests in a few bytes must fail before

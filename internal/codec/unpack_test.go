@@ -311,9 +311,20 @@ func FuzzUnpackFrame(f *testing.F) {
 	}, []uint64{0, ^uint64(0), 0xabcdef}))
 	seed(protocol.NewDigestMsg([]uint64{0, ^uint64(0)}, []uint32{1, 3},
 		protocol.DigestCost([]uint64{0, 1}, []uint32{1, 3})))
+	// Standalone drill-down rounds (not sharded) and one embedded in a
+	// sharded item, exercising the tree branch of the skip walker.
+	seed(protocol.NewTreeMsg(2, 1, []uint32{0, 15}, nil, nil, nil,
+		protocol.TreeCost([]uint32{0, 15}, nil, nil, nil)))
+	seed(protocol.NewTreeMsg(0, 2, nil, []uint32{9}, []uint64{^uint64(0)}, nil,
+		protocol.TreeCost(nil, []uint32{9}, []uint64{0}, nil)))
+	seed(protocol.NewShardedMsg([]protocol.ShardItem{
+		{Shard: 1, Msg: protocol.NewTreeMsg(1, protocol.TreeDepth, nil, nil, nil,
+			[]uint32{5}, protocol.TreeCost(nil, nil, nil, []uint32{5}))},
+	}))
 	f.Add([]byte{72, 0, 0, 0, 0, 2, 1})                   // sharded, 2 items, truncated
 	f.Add([]byte{74, 0, 0, 0, 0, 255, 255, 255, 255, 15}) // sharded+digest, hostile count
 	f.Add([]byte{72, 0, 0, 0, 0, 1, 3, 70, 0, 0, 0, 0, 1, 1, 97, 64, 0, 0, 0, 0, 1})
+	f.Add([]byte{72, 0, 0, 0, 0, 1, 2, 75, 0, 0, 0, 0, 0, 3, 0, 1, 2, 1, 2, 3}) // embedded tree, truncated pair
 
 	const shards = 4
 	f.Fuzz(func(t *testing.T, data []byte) {

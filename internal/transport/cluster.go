@@ -108,16 +108,23 @@ func WaitConverged(stores []*Store, wantKeys int, timeout time.Duration, progres
 		if time.Now().After(deadline) {
 			// A sick write pipeline is the usual culprit, so the failure
 			// names each store's queued/dropped frame totals alongside
-			// its digest.
+			// its digest; a non-zero shard-count mismatch counter means
+			// the cluster is misconfigured and anti-entropy can never
+			// repair it.
 			msg := "transport: cluster did not converge:"
 			for _, st := range stores {
 				queued, dropped := 0, 0
-				for _, ps := range st.Stats().Peers {
+				stats := st.Stats()
+				for _, ps := range stats.Peers {
 					queued += ps.Queued
 					dropped += ps.Dropped
 				}
 				msg += fmt.Sprintf(" %s[keys=%d digest=%x queued=%d dropped=%d]",
 					st.ID(), st.NumKeys(), st.Digest(), queued, dropped)
+				if stats.DigestShardMismatch > 0 {
+					msg += fmt.Sprintf(" %s saw %d digest advertisements with a foreign shard count (misconfigured Shards?)",
+						st.ID(), stats.DigestShardMismatch)
+				}
 			}
 			return fmt.Errorf("%s", msg)
 		}

@@ -72,10 +72,12 @@ func deliverEager(s *Store, from string, msg protocol.Msg) {
 				}
 			}
 		}
-		reply = s.compareDigests(m.Digests)
+		reply = eagerCompareDigests(s, m.Digests)
 	case *protocol.DigestMsg:
-		s.serveWants(from, m.Want, b)
-		reply = s.compareDigests(m.Digests)
+		// The pre-refactor serveWants allocated its dedup scratch fresh
+		// per request; the baseline keeps doing so.
+		s.serveWants(from, m.Want, b, make([]bool, len(s.shards)))
+		reply = eagerCompareDigests(s, m.Digests)
 	default:
 		return
 	}
@@ -94,6 +96,25 @@ func deliverEager(s *Store, from string, msg protocol.Msg) {
 		}
 		s.flush(b, nil)
 	}()
+}
+
+// eagerCompareDigests replicates the pre-refactor flat digest
+// comparison for the baseline: every differing shard is re-requested on
+// every advertisement, with no in-flight dedup and no drill-down.
+func eagerCompareDigests(s *Store, digests []uint64) *protocol.DigestMsg {
+	if len(digests) != len(s.shards) {
+		return nil
+	}
+	var want []uint32
+	for i, sh := range s.shards {
+		if s.shardDigest(sh) != digests[i] {
+			want = append(want, uint32(i))
+		}
+	}
+	if len(want) == 0 {
+		return nil
+	}
+	return protocol.NewDigestMsg(nil, want, protocol.DigestCost(nil, want))
 }
 
 // preRefactorRR replicates the pre-refactor BP+RR engine's Deliver for

@@ -1,0 +1,130 @@
+package transport
+
+import (
+	"encoding/json"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"crdtsync/internal/workload"
+)
+
+// repairMeasurement is one measured repair of a single diverged key in
+// an n-key shard: the total wire bytes both stores put on the network
+// from the healing heartbeat to digest-checked convergence.
+type repairMeasurement struct {
+	Keys       int `json:"keys"`
+	WireBytes  int `json:"wire_bytes"`
+	TreeRounds int `json:"tree_rounds"`
+	// RepairPayloadBytes is the key+state payload the advertiser served
+	// (RepairBytes for the drill-down, the full-shard equivalent for the
+	// flat baseline).
+	RepairPayloadBytes int `json:"repair_payload_bytes"`
+}
+
+// measureRepair stages two stores that agree on keys single-shard
+// GSet objects, diverges exactly one key on the first through a black
+// hole, heals, and measures the wire cost of repairing it — with the
+// Merkle drill-down or (noTree) the flat full-shard pull it replaces.
+func measureRepair(t *testing.T, keys int, noTree bool) repairMeasurement {
+	t.Helper()
+	f0, f1 := NewFault(11), NewFault(12)
+	f0.SetDropRate(1)
+	f1.SetDropRate(1)
+	cfg := repairPairConfig()
+	cfg.NoTreeRepair = noTree
+	stores := startFaultyPair(t, cfg, [2]*Fault{f0, f1})
+	s0, s1 := stores[0], stores[1]
+
+	loadIdentical(stores, keys)
+	drainInto(t, s0)
+	drainInto(t, s1)
+	s0.Update(workload.Add("k-diverged", "v"))
+	drainInto(t, s0)
+	if got := s1.NumKeys(); got != keys {
+		t.Fatalf("black hole leaked: s1 holds %d keys, want %d", got, keys)
+	}
+
+	f0.SetDropRate(0)
+	f1.SetDropRate(0)
+	base0, base1 := s0.Stats(), s1.Stats()
+	s0.SyncNow()
+	waitPairConverged(t, stores, keys+1, 5*time.Minute)
+	st0, st1 := s0.Stats(), s1.Stats()
+	return repairMeasurement{
+		Keys:               keys,
+		WireBytes:          (st0.WireBytes - base0.WireBytes) + (st1.WireBytes - base1.WireBytes),
+		TreeRounds:         st1.TreeRounds - base1.TreeRounds,
+		RepairPayloadBytes: st0.RepairBytes - base0.RepairBytes,
+	}
+}
+
+// TestRepairBytesProportionalToDivergence is the pinned guarantee of
+// the Merkle drill-down: repairing one diverged key in a large shard
+// costs O(log n) hash exchange plus one key's payload, at least 100x
+// below the flat anti-entropy's full-shard ship. The shard here is kept
+// to tens of thousands of keys so the pin runs in the ordinary test
+// suite; the BENCH_repair.json artifact measures the 1M-key point.
+func TestRepairBytesProportionalToDivergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repair ratio pin stages ~50k-key stores; skipped under -short")
+	}
+	const keys = 40000
+	tree := measureRepair(t, keys, false)
+	flat := measureRepair(t, keys, true)
+	ratio := float64(flat.WireBytes) / float64(tree.WireBytes)
+	t.Logf("1 diverged key in %d: drill-down = %d B (%d rounds, %d payload), full ship = %d B (%.0fx)",
+		keys, tree.WireBytes, tree.TreeRounds, tree.RepairPayloadBytes, flat.WireBytes, ratio)
+	if ratio < 100 {
+		t.Errorf("drill-down repair = %d B is not 100x below full ship = %d B (%.1fx)",
+			tree.WireBytes, flat.WireBytes, ratio)
+	}
+	// The drill is log-depth: level queries down the tree plus the want.
+	if tree.TreeRounds < 2 || tree.TreeRounds > 10 {
+		t.Errorf("TreeRounds = %d, want a log-depth handful", tree.TreeRounds)
+	}
+}
+
+// repairBenchArtifact is the BENCH_repair.json schema: the measured
+// tree and flat repairs of one diverged key plus their ratio.
+type repairBenchArtifact struct {
+	Tree  repairMeasurement `json:"tree"`
+	Flat  repairMeasurement `json:"flat"`
+	Ratio float64           `json:"flat_over_tree_x"`
+}
+
+// TestWriteRepairBenchArtifact emits BENCH_repair.json, the
+// machine-readable repair-path numbers at scale (default one diverged
+// key in a 1M-key shard; BENCH_REPAIR_KEYS overrides for smoke runs).
+// Gated behind BENCH_REPAIR_OUT so the ordinary test run never pays for
+// benchmarking; CI sets it and uploads the artifact.
+func TestWriteRepairBenchArtifact(t *testing.T) {
+	out := os.Getenv("BENCH_REPAIR_OUT")
+	if out == "" {
+		t.Skip("set BENCH_REPAIR_OUT=<path> to write the repair benchmark artifact")
+	}
+	keys := 1_000_000
+	if env := os.Getenv("BENCH_REPAIR_KEYS"); env != "" {
+		n, err := strconv.Atoi(env)
+		if err != nil || n < 1000 {
+			t.Fatalf("BENCH_REPAIR_KEYS = %q: need an integer >= 1000", env)
+		}
+		keys = n
+	}
+	art := repairBenchArtifact{
+		Tree: measureRepair(t, keys, false),
+		Flat: measureRepair(t, keys, true),
+	}
+	art.Ratio = float64(art.Flat.WireBytes) / float64(art.Tree.WireBytes)
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		t.Fatalf("write %s: %v", out, err)
+	}
+	t.Logf("1 diverged key in %d: drill-down = %d B, full ship = %d B (%.0fx)",
+		keys, art.Tree.WireBytes, art.Flat.WireBytes, art.Ratio)
+}

@@ -78,6 +78,25 @@ type StoreConfig struct {
 	// (syncbench -no-piggyback compares the two), not a production
 	// setting.
 	NoDigestPiggyback bool
+	// RepairTimeout bounds how long one shard's repair request (flat
+	// Want or tree drill-down) stays in flight before a digest mismatch
+	// may retrigger it (default 1s). While a repair is in flight further
+	// mismatching heartbeats for that shard are deduplicated rather than
+	// re-requested — the Want-storm fix. It doubles as the retry cadence
+	// when repair messages are lost; after two consecutive drill-downs
+	// time out on a shard, repair falls back to the flat full pull, whose
+	// two-message exchange survives lossy links the multi-round drill
+	// cannot.
+	RepairTimeout time.Duration
+	// TreeRepairMinKeys is the local key count from which a diverged
+	// shard repairs by Merkle drill-down instead of a full-shard pull
+	// (default 256). Below it, shipping the shard whole is cheaper than
+	// the hash exchange.
+	TreeRepairMinKeys int
+	// NoTreeRepair disables the Merkle drill-down: every diverged shard
+	// is pulled whole, as before. A measurement knob (the repair
+	// benchmark compares the two), not a production setting.
+	NoTreeRepair bool
 }
 
 // StoreStats counts what a store has put on the wire.
@@ -105,12 +124,32 @@ type StoreStats struct {
 	// its shard's convergence — peers will keep requesting the shard
 	// every heartbeat; raise MaxFrameBytes or shrink the object.
 	OversizedDropped int
-	// WantShards counts shards this store requested from peers after a
-	// digest mismatch (observed divergence).
+	// WantShards counts shards this store requested from peers in full
+	// after a digest mismatch — small shards, drill-downs that found
+	// most of a shard diverged, and tree repair disabled.
 	WantShards int
 	// RepairShards counts full shards this store served to peers that
 	// requested them.
 	RepairShards int
+	// DedupedWants counts digest mismatches that did not issue a repair
+	// request because one was already in flight for that shard — the
+	// Want storms the repair table absorbed.
+	DedupedWants int
+	// TreeRounds counts Merkle drill-down rounds this store initiated
+	// (level queries and leaf Wants). A single-key repair costs
+	// TreeDepth query rounds plus one Want.
+	TreeRounds int
+	// RepairRanges counts leaf/node ranges this store served in full to
+	// drilling peers — the range-limited counterpart of RepairShards.
+	RepairRanges int
+	// RepairBytes totals the key+state payload bytes of the range
+	// repairs served, the measure the drill-down keeps proportional to
+	// divergence rather than shard size.
+	RepairBytes int
+	// DigestShardMismatch counts digest advertisements dropped because
+	// their shard count differs from this store's — a misconfigured
+	// cluster whose divergence anti-entropy cannot repair.
+	DigestShardMismatch int
 	// DroppedItems counts inbound shard items discarded because their
 	// shard index was outside this store's shard range — shard-map skew
 	// between sender and receiver (the shard index is frame routing
@@ -149,6 +188,11 @@ func (s *StoreStats) Add(o StoreStats) {
 	s.OversizedDropped += o.OversizedDropped
 	s.WantShards += o.WantShards
 	s.RepairShards += o.RepairShards
+	s.DedupedWants += o.DedupedWants
+	s.TreeRounds += o.TreeRounds
+	s.RepairRanges += o.RepairRanges
+	s.RepairBytes += o.RepairBytes
+	s.DigestShardMismatch += o.DigestShardMismatch
 	s.DroppedItems += o.DroppedItems
 	s.WatchDropped += o.WatchDropped
 	s.Sent.Add(o.Sent)
@@ -192,13 +236,20 @@ type shard struct {
 	// Any mutation (LocalOp, Deliver) invalidates it.
 	digest   atomic.Uint64
 	digestOK atomic.Bool
+	// leaf caches the Merkle leaf-hash vector repair drill-downs read;
+	// valid while leafOK. Unlike the digest cache it is only touched
+	// under mu, so plain fields suffice.
+	leaf   []uint64
+	leafOK bool
 }
 
 // markDirty flags the shard for the next sync visit and invalidates its
-// digest cache; callers hold sh.mu having just mutated the engine.
+// digest and leaf-hash caches; callers hold sh.mu having just mutated
+// the engine.
 func (sh *shard) markDirty() {
 	sh.dirty.Store(true)
 	sh.digestOK.Store(false)
+	sh.leafOK = false
 }
 
 // Store is a live replica of a sharded multi-object keyspace: N shards,
@@ -228,11 +279,15 @@ type Store struct {
 	deliverLocks atomic.Uint64
 	statsMu      sync.Mutex
 	stats        StoreStats
+	repair       repairTable
 	stopping     chan struct{}
 	stopOnce     sync.Once
 	wg           sync.WaitGroup // syncLoop + watcher pumps
 	watchMu      sync.RWMutex
 	watchers     []*Watcher
+	// watcherCount mirrors len(watchers) for the lock-free hasWatchers
+	// check on the delivery and update hot paths; written under watchMu.
+	watcherCount atomic.Int32
 }
 
 // nextPow2 rounds n up to the next power of two (minimum 1).
@@ -259,6 +314,12 @@ func StartStore(cfg StoreConfig) (*Store, error) {
 	cfg.Shards = nextPow2(cfg.Shards)
 	if cfg.MaxFrameBytes <= 0 || cfg.MaxFrameBytes > maxFrameBytes {
 		cfg.MaxFrameBytes = maxFrameBytes
+	}
+	if cfg.RepairTimeout <= 0 {
+		cfg.RepairTimeout = defaultRepairTimeout
+	}
+	if cfg.TreeRepairMinKeys <= 0 {
+		cfg.TreeRepairMinKeys = defaultTreeMinKeys
 	}
 	neighbors := make([]string, 0, len(cfg.Peers))
 	for id := range cfg.Peers {
@@ -310,6 +371,10 @@ func StartStore(cfg StoreConfig) (*Store, error) {
 		mask:      uint32(cfg.Shards - 1),
 		neighbors: neighbors,
 		stopping:  make(chan struct{}),
+	}
+	s.repair = repairTable{
+		timeout: cfg.RepairTimeout,
+		entries: make([]repairEntry, cfg.Shards),
 	}
 	s.net.start(s.deliver)
 	s.wg.Add(1)
@@ -509,6 +574,19 @@ type deliverState struct {
 	b    *outBatch
 	sink replySink
 	send protocol.Sender
+	// seen is serveWants' shard-dedup scratch, pooled so hostile or
+	// chatty peers don't drive a per-frame allocation.
+	seen []bool
+}
+
+// seenShards returns the dedup scratch cleared and sized to n shards.
+func (d *deliverState) seenShards(n int) []bool {
+	if cap(d.seen) < n {
+		d.seen = make([]bool, n)
+	}
+	d.seen = d.seen[:n]
+	clear(d.seen)
+	return d.seen
 }
 
 var deliverStates = sync.Pool{New: func() any {
@@ -766,6 +844,10 @@ func (s *Store) deliverSharded(from string, v *codec.FrameView) error {
 		sh.markDirty()
 		sh.mu.Unlock()
 		d.sink.flush(d.b)
+		// Data from the peer a repair was requested from completes that
+		// repair (the inner engines may also clear it incidentally with
+		// ordinary deltas; the next heartbeat then re-evaluates).
+		s.repair.clearFrom(int(g.Shard), from)
 		if derr != nil {
 			return derr
 		}
@@ -781,7 +863,10 @@ func (s *Store) deliverSharded(from string, v *codec.FrameView) error {
 	// A piggybacked digest vector is an advertisement like any other,
 	// compared after the frame's own items have been merged (they are
 	// part of the state the digests describe).
-	s.sendReplies(from, s.compareDigests(v.Digests), d.b)
+	s.handleDigests(from, v.Digests)
+	if len(d.b.order) > 0 {
+		s.flush(d.b, nil)
+	}
 	return nil
 }
 
@@ -801,108 +886,78 @@ func (s *Store) notifyGroup(g codec.ItemGroup) {
 }
 
 // deliverControl handles the non-sharded frames a store speaks: the
-// standalone DigestMsg (advertisement heartbeat or shard request).
-// Anything else well-formed is ignored, preserving the eager path's
-// tolerance; undecodable bytes drop the connection.
+// standalone DigestMsg (advertisement heartbeat or shard request) and
+// the TreeMsg drill-down steps. Anything else well-formed is ignored,
+// preserving the eager path's tolerance; undecodable bytes drop the
+// connection.
 func (s *Store) deliverControl(from string, frame []byte) error {
 	msg, _, err := codec.DecodeMsg(frame)
 	if err != nil {
 		return err
 	}
-	dm, ok := msg.(*protocol.DigestMsg)
-	if !ok {
-		return nil // stores speak only sharded and digest frames
-	}
 	d := getDeliverState()
 	defer d.release()
-	s.serveWants(from, dm.Want, d.b)
-	s.sendReplies(from, s.compareDigests(dm.Digests), d.b)
+	switch m := msg.(type) {
+	case *protocol.DigestMsg:
+		s.serveWants(from, m.Want, d.b, d.seenShards(len(s.shards)))
+		s.handleDigests(from, m.Digests)
+	case *protocol.TreeMsg:
+		s.handleTree(from, m, d.b)
+	default:
+		return nil // stores speak only sharded, digest and tree frames
+	}
+	if len(d.b.order) > 0 {
+		s.flush(d.b, nil)
+	}
 	return nil
 }
 
-// sendReplies ships an inbound frame's responses — the digest request, if
-// any, plus whatever the engines emitted into b — through the per-peer
-// write pipelines.
-func (s *Store) sendReplies(from string, reply *protocol.DigestMsg, b *outBatch) {
-	if reply != nil {
-		data, err := codec.EncodeMsg(reply)
-		if err != nil {
-			panic(err)
-		}
-		s.transmit(from, data, reply.Cost(), frameDigest)
-	}
-	if len(b.order) > 0 {
-		s.flush(b, nil)
-	}
-}
-
 // serveWants answers a peer's shard requests into b: each validly
-// requested shard is shipped once, in full.
-func (s *Store) serveWants(from string, want []uint32, b *outBatch) {
+// requested shard is shipped once, in full. seen is the caller's pooled
+// dedup scratch, sized by the shard count and never by the
+// attacker-controlled request length: a hostile Want list of millions
+// of duplicate indices must not amplify into allocation or work.
+func (s *Store) serveWants(from string, want []uint32, b *outBatch, seen []bool) {
 	served := 0
-	// Sized by the shard count, never by the attacker-controlled request
-	// length: a hostile Want list of millions of duplicate indices must
-	// not amplify into allocation.
-	seen := make([]bool, len(s.shards))
+	bytes := 0
 	for _, idx := range want {
 		if int(idx) >= len(s.shards) || seen[idx] {
 			continue // hostile or stale request; serve each shard once
 		}
 		seen[idx] = true
-		if batch, ok := s.fullShardBatch(idx); ok {
+		if batch, n, ok := s.fullShardBatch(idx); ok {
 			b.sender(idx)(from, batch)
 			served++
+			bytes += n
 		}
 	}
 	if served > 0 {
 		s.statsMu.Lock()
 		s.stats.RepairShards += served
+		s.stats.RepairBytes += bytes
 		s.statsMu.Unlock()
 	}
 }
 
-// compareDigests checks a peer's digest advertisement against the local
-// shards, returning the request for whichever differ (nil when none do —
-// the converged case — or when there is no comparable advertisement).
-func (s *Store) compareDigests(digests []uint64) *protocol.DigestMsg {
-	if len(digests) == 0 {
-		return nil
-	}
-	if len(digests) != len(s.shards) {
-		return nil // shard-count mismatch: digests are not comparable
-	}
-	var want []uint32
-	for i, sh := range s.shards {
-		if s.shardDigest(sh) != digests[i] {
-			want = append(want, uint32(i))
-		}
-	}
-	if len(want) == 0 {
-		return nil
-	}
-	s.statsMu.Lock()
-	s.stats.WantShards += len(want)
-	s.statsMu.Unlock()
-	return protocol.NewDigestMsg(nil, want, protocol.DigestCost(nil, want))
-}
-
 // fullShardBatch builds one shard's full contents as a BatchMsg of
-// per-key δ-groups carrying whole object states. A full state is a valid
-// δ-group, so the receiver merges it through the ordinary per-object
-// delivery path (RR extracts exactly the missing part) and propagates
-// anything new onwards. States are cloned under the shard lock: the
-// message outlives it.
-func (s *Store) fullShardBatch(idx uint32) (protocol.Msg, bool) {
+// per-key δ-groups carrying whole object states, plus their key+state
+// payload size. A full state is a valid δ-group, so the receiver merges
+// it through the ordinary per-object delivery path (RR extracts exactly
+// the missing part) and propagates anything new onwards. States are
+// cloned under the shard lock: the message outlives it.
+func (s *Store) fullShardBatch(idx uint32) (protocol.Msg, int, bool) {
 	sh := s.shards[idx]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	keys := sh.engine.Keys()
 	if len(keys) == 0 {
-		return nil, false
+		return nil, 0, false
 	}
 	items := make([]protocol.ObjectMsg, 0, len(keys))
+	bytes := 0
 	for _, k := range keys {
 		st := sh.engine.ObjectState(k).Clone()
+		bytes += len(k) + st.SizeBytes()
 		items = append(items, protocol.ObjectMsg{
 			Key: k,
 			Inner: protocol.NewDeltaMsg(st, metrics.Transmission{
@@ -912,7 +967,7 @@ func (s *Store) fullShardBatch(idx uint32) (protocol.Msg, bool) {
 			}),
 		})
 	}
-	return protocol.BatchOf(items), true
+	return protocol.BatchOf(items), bytes, true
 }
 
 func (s *Store) syncLoop() {

@@ -86,6 +86,7 @@ func (s *Store) Watch(prefix string, buf int) *Watcher {
 	default:
 	}
 	s.watchers = append(s.watchers, w)
+	s.watcherCount.Store(int32(len(s.watchers)))
 	s.wg.Add(1)
 	s.watchMu.Unlock()
 	go w.pump()
@@ -108,6 +109,7 @@ func (w *Watcher) Close() {
 				break
 			}
 		}
+		s.watcherCount.Store(int32(len(s.watchers)))
 		s.watchMu.Unlock()
 		close(w.done)
 	})
@@ -183,13 +185,12 @@ func (w *Watcher) pump() {
 	}
 }
 
-// hasWatchers reports whether any watcher is registered; delivery paths
-// check it once per frame before walking batch items.
+// hasWatchers reports whether any watcher is registered. It is a single
+// atomic load — the hot delivery and update paths check it before doing
+// any notification work (in particular before materializing item keys
+// as strings), so a store nobody watches pays nothing per item.
 func (s *Store) hasWatchers() bool {
-	s.watchMu.RLock()
-	n := len(s.watchers)
-	s.watchMu.RUnlock()
-	return n > 0
+	return s.watcherCount.Load() > 0
 }
 
 // notifyWatchers offers one changed key to every registered watcher.

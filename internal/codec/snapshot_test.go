@@ -1,0 +1,179 @@
+package codec_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"crdtsync/internal/codec"
+	"crdtsync/internal/crdt"
+	"crdtsync/internal/lattice"
+)
+
+type snapRecord struct {
+	key string
+	st  lattice.State
+}
+
+// sampleSnapshot builds a snapshot file over a representative mix of
+// state types, returning the file and the records written.
+func sampleSnapshot(t *testing.T, shard, shards int) ([]byte, []snapRecord) {
+	t.Helper()
+	c := crdt.NewGCounter()
+	c.Inc("n00", 3)
+	c.Inc("n01", 41)
+	m := lattice.NewMap()
+	m.Set("inner", lattice.NewSet("x", "y"))
+	aw := crdt.NewAWSet()
+	aw.Add("A", "kept")
+	aw.Add("A", "gone")
+	aw.Remove("gone")
+	recs := []snapRecord{
+		{"c/hits", c},
+		{"m/profile", m},
+		{"s/follows", crdt.NewGSet("a", "b", "c")},
+		{"s/tags", aw},
+		{"x/watermark", lattice.NewMaxInt(99)},
+	}
+	w := codec.NewSnapshotWriter(shard, shards, len(recs))
+	for _, r := range recs {
+		w.Add(r.key, r.st)
+	}
+	return w.Bytes(), recs
+}
+
+func decodeAll(data []byte) (codec.SnapshotInfo, []snapRecord, error) {
+	var recs []snapRecord
+	info, err := codec.DecodeSnapshot(data, func(key string, st lattice.State) error {
+		recs = append(recs, snapRecord{key, st})
+		return nil
+	})
+	return info, recs, err
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	data, want := sampleSnapshot(t, 3, 16)
+	info, got, err := decodeAll(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if info != (codec.SnapshotInfo{Shard: 3, Shards: 16, Keys: len(want)}) {
+		t.Fatalf("manifest = %+v", info)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].key != want[i].key {
+			t.Errorf("record %d key = %q, want %q", i, got[i].key, want[i].key)
+		}
+		if !got[i].st.Equal(want[i].st) {
+			t.Errorf("record %d state = %v, want %v", i, got[i].st, want[i].st)
+		}
+	}
+}
+
+func TestSnapshotEmptyShard(t *testing.T) {
+	data := codec.NewSnapshotWriter(0, 4, 0).Bytes()
+	info, recs, err := decodeAll(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if info.Keys != 0 || len(recs) != 0 {
+		t.Fatalf("empty snapshot decoded to %d records (manifest %d)", len(recs), info.Keys)
+	}
+}
+
+// TestSnapshotManyFrames pushes a snapshot past the frame cut so the
+// multi-frame path (records split across several checksummed frames) is
+// exercised, and checks nothing is lost or reordered across the cuts.
+func TestSnapshotManyFrames(t *testing.T) {
+	const n = 4000 // ~30 bytes/record, several 64 KiB frames
+	w := codec.NewSnapshotWriter(0, 1, n)
+	for i := 0; i < n; i++ {
+		w.Add(fmt.Sprintf("obj:%07d", i), crdt.NewGSet(fmt.Sprintf("member-%d", i)))
+	}
+	data := w.Bytes()
+	info, recs, err := decodeAll(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if info.Keys != n || len(recs) != n {
+		t.Fatalf("decoded %d records (manifest %d), want %d", len(recs), info.Keys, n)
+	}
+	for i, r := range recs {
+		if want := fmt.Sprintf("obj:%07d", i); r.key != want {
+			t.Fatalf("record %d key = %q, want %q", i, r.key, want)
+		}
+	}
+}
+
+// TestSnapshotCorruptionDetected flips every byte of a valid snapshot in
+// turn; each flip must surface as ErrSnapshotCorrupt, never as a clean
+// decode of different records and never as a panic.
+func TestSnapshotCorruptionDetected(t *testing.T) {
+	data, _ := sampleSnapshot(t, 1, 8)
+	for i := range data {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x40
+		if _, _, err := decodeAll(mut); err == nil {
+			t.Fatalf("flip at byte %d of %d decoded cleanly", i, len(data))
+		} else if !errors.Is(err, codec.ErrSnapshotCorrupt) {
+			t.Fatalf("flip at byte %d: error %v is not ErrSnapshotCorrupt", i, err)
+		}
+	}
+}
+
+// TestSnapshotTruncationDetected decodes every strict prefix of a valid
+// snapshot; all must fail (a prefix ending on a frame boundary still
+// disagrees with the manifest's key count).
+func TestSnapshotTruncationDetected(t *testing.T) {
+	data, _ := sampleSnapshot(t, 0, 2)
+	for n := 0; n < len(data); n++ {
+		if _, _, err := decodeAll(data[:n]); err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded cleanly", n, len(data))
+		}
+	}
+}
+
+// TestSnapshotHostileManifest pins the bounds discipline: manifests
+// promising absurd shard or key counts are rejected up front, without
+// the declared sizes driving any allocation or work.
+func TestSnapshotHostileManifest(t *testing.T) {
+	cases := map[string]struct{ shard, shards, keys int }{
+		"zero shards":     {0, 0, 0},
+		"shard >= shards": {4, 4, 0},
+		"huge shards":     {0, 1 << 30, 0},
+		"huge keys":       {0, 1, 1 << 30},
+	}
+	for name, c := range cases {
+		data := codec.NewSnapshotWriter(c.shard, c.shards, c.keys).Bytes()
+		if _, _, err := decodeAll(data); !errors.Is(err, codec.ErrSnapshotCorrupt) {
+			t.Errorf("%s: err = %v, want ErrSnapshotCorrupt", name, err)
+		}
+	}
+}
+
+// TestSnapshotKeyCountMismatch covers both directions of a manifest that
+// disagrees with the records actually present.
+func TestSnapshotKeyCountMismatch(t *testing.T) {
+	for _, manifest := range []int{1, 3} {
+		w := codec.NewSnapshotWriter(0, 1, manifest)
+		w.Add("a", lattice.NewMaxInt(1))
+		w.Add("b", lattice.NewMaxInt(2))
+		if _, _, err := decodeAll(w.Bytes()); !errors.Is(err, codec.ErrSnapshotCorrupt) {
+			t.Errorf("manifest %d with 2 records: err = %v, want ErrSnapshotCorrupt", manifest, err)
+		}
+	}
+}
+
+// TestSnapshotCallbackError checks a callback error aborts the decode
+// and comes back verbatim, not wrapped as corruption.
+func TestSnapshotCallbackError(t *testing.T) {
+	data, _ := sampleSnapshot(t, 0, 1)
+	boom := errors.New("boom")
+	_, err := codec.DecodeSnapshot(data, func(string, lattice.State) error { return boom })
+	if !errors.Is(err, boom) || errors.Is(err, codec.ErrSnapshotCorrupt) {
+		t.Fatalf("err = %v, want the callback's error", err)
+	}
+}

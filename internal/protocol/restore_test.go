@@ -1,0 +1,65 @@
+package protocol_test
+
+import (
+	"testing"
+
+	"crdtsync/internal/crdt"
+	"crdtsync/internal/protocol"
+	"crdtsync/internal/workload"
+)
+
+// newKeyedEngine builds the per-object engine the store runs per shard.
+func newKeyedEngine(inner protocol.Factory) protocol.KeyedEngine {
+	f := protocol.NewPerObject(inner, func(string) workload.Datatype { return workload.GSetType{} })
+	e := f(protocol.Config{ID: "a", Neighbors: []string{"b"}, Nodes: []string{"a", "b"}})
+	return e.(protocol.KeyedEngine)
+}
+
+// TestRestoreObjectQuiescent pins the restore contract for both inner
+// engines: the restored state is visible, but nothing is buffered for
+// propagation — a restarted replica must not re-ship its keyspace.
+func TestRestoreObjectQuiescent(t *testing.T) {
+	factories := map[string]protocol.Factory{
+		"delta": protocol.NewDeltaBPRR(),
+		"acked": protocol.NewDeltaAcked(true, true),
+	}
+	for name, inner := range factories {
+		t.Run(name, func(t *testing.T) {
+			e := newKeyedEngine(inner)
+			r, ok := e.(protocol.ObjectRestorer)
+			if !ok {
+				t.Fatal("per-object engine does not implement ObjectRestorer")
+			}
+			r.RestoreObject("s/k1", crdt.NewGSet("x", "y"))
+			r.RestoreObject("s/k2", crdt.NewGSet("z"))
+			if st := e.ObjectState("s/k1"); st == nil || !st.Equal(crdt.NewGSet("x", "y")) {
+				t.Fatalf("restored state = %v", st)
+			}
+			if m := e.Memory(); m.BufferBytes != 0 {
+				t.Errorf("restore buffered %d bytes for propagation, want 0", m.BufferBytes)
+			}
+			sent := 0
+			e.Sync(func(string, protocol.Msg) { sent++ })
+			if sent != 0 {
+				t.Errorf("restored engine emitted %d messages on Sync, want 0", sent)
+			}
+		})
+	}
+}
+
+// TestRestoreThenUpdatePropagates checks restore does not wedge the
+// object: a local op after restore ships its delta normally, and the
+// restored portion stays out of the wire traffic.
+func TestRestoreThenUpdatePropagates(t *testing.T) {
+	e := newKeyedEngine(protocol.NewDeltaBPRR())
+	e.(protocol.ObjectRestorer).RestoreObject("s/k", crdt.NewGSet("old1", "old2", "old3"))
+	e.LocalOp(workload.Op{Key: "s/k", Kind: workload.KindAdd, Elem: "new"})
+	var sent []protocol.Msg
+	e.Sync(func(_ string, m protocol.Msg) { sent = append(sent, m) })
+	if len(sent) != 1 {
+		t.Fatalf("messages = %d, want 1", len(sent))
+	}
+	if got := sent[0].Cost().Elements; got != 1 {
+		t.Errorf("shipped %d elements, want only the new delta (1)", got)
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"testing"
 
 	"crdtsync/internal/codec"
+	"crdtsync/internal/crdt"
+	"crdtsync/internal/metrics"
 	"crdtsync/internal/protocol"
 	"crdtsync/internal/workload"
 )
@@ -220,6 +222,67 @@ func TestPackUnpackRoundTrip(t *testing.T) {
 				t.Fatalf("round %d: unit %d = %+v, want %+v", round, i, got[i], want[i])
 			}
 		}
+	}
+}
+
+// TestDeliverShardedErrorStillFlushesAndCounts is the regression test
+// for the mid-frame decode-error path: deliverSharded used to return
+// the moment an item failed to decode, before flushing the replies the
+// already-applied shard groups had coalesced (discarding real acks the
+// peer was owed) and before counting the frame's dropped items. An
+// error must still flush and still count — only the failed group's
+// remainder and the frame's piggybacked digests are abandoned.
+func TestDeliverShardedErrorStillFlushesAndCounts(t *testing.T) {
+	// A configured-but-unreachable peer: transmit enqueues onto its
+	// pipeline (counting the frame) and the dial fails lazily later.
+	s, err := StartStore(StoreConfig{
+		ID:         "n0",
+		ListenAddr: "127.0.0.1:0",
+		Peers:      map[string]string{"peer": "127.0.0.1:1"},
+		Shards:     2,
+		Factory:    protocol.NewDeltaAcked(true, true),
+		ObjType:    func(string) workload.Datatype { return workload.GSetType{} },
+	})
+	if err != nil {
+		t.Fatalf("StartStore: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	k0 := keysOnShard(s.mask, 0, 1)[0]
+	k1 := keysOnShard(s.mask, 1, 1)[0]
+	gs := crdt.NewGSet("a", "b")
+	acked := protocol.NewAckedDeltaMsg(gs, []uint64{1}, metrics.Transmission{
+		Messages: 1, Elements: gs.Elements(), PayloadBytes: gs.SizeBytes(),
+	})
+	frame := encodeFrame(t, protocol.NewShardedMsg([]protocol.ShardItem{
+		// Shard 0 applies and owes the sender an AckMsg reply.
+		{Shard: 0, Msg: protocol.BatchOf([]protocol.ObjectMsg{{Key: k0, Inner: acked}})},
+		shardBatch(1, k1),
+		shardBatch(9, "skew"), // beyond the shard count: dropped at unpack
+	}))
+	var v codec.FrameView
+	if err := codec.UnpackFrame(frame, len(s.shards), &v); err != nil {
+		t.Fatalf("unpack: %v", err)
+	}
+	if len(v.Groups()) != 2 || v.Dropped != 1 {
+		t.Fatalf("unpacked %d groups, %d dropped; want 2 groups, 1 dropped",
+			len(v.Groups()), v.Dropped)
+	}
+	// Corrupt the shard-1 item to an unknown tag after the skip walk
+	// accepted it: Msg() now fails mid-frame, the condition the eager
+	// return used to take.
+	v.Groups()[1].Items[0].Payload[0] = 0xff
+	if err := s.deliverSharded("peer", &v); err == nil {
+		t.Fatal("mid-frame decode corruption must surface an error")
+	}
+	if st := s.Get(k0); st == nil || st.IsBottom() {
+		t.Fatal("shard-0 group did not apply before the error")
+	}
+	stats := s.Stats()
+	if stats.DroppedItems != 1 {
+		t.Fatalf("DroppedItems = %d despite the error, want 1", stats.DroppedItems)
+	}
+	if stats.Frames == 0 {
+		t.Fatal("shard-0's ack reply was not flushed after the error")
 	}
 }
 

@@ -372,16 +372,30 @@ func (s *Store) continueDrill(from string, shardIdx uint32, level int, nodes []u
 	if !s.repair.refresh(int(shardIdx), from, time.Now()) {
 		return // stale or foreign answer: not the repair in flight here
 	}
+	// Validate and dedup the answer's indices BEFORE hashing, honoring
+	// treeNodeHashes' "indices already validated" contract (the same
+	// ordering serveTreeQuery uses): an out-of-range index would slice
+	// past the leaf vector and panic the store on a hand-built message —
+	// the wire decoder bounds indices, but this path must not rely on it.
 	maxNode := uint32(protocol.TreeNodesAt(level))
-	mine := s.treeNodeHashes(s.shards[shardIdx], level, nodes, make([]uint64, 0, len(nodes)))
 	var seen treeBitmap
-	var diff []uint32
+	valid := make([]uint32, 0, len(nodes))
+	theirs := make([]uint64, 0, len(nodes))
 	for i, idx := range nodes {
 		if idx >= maxNode || seen.has(idx) {
 			continue
 		}
 		seen.set(idx)
-		if mine[i] != hashes[i] {
+		valid = append(valid, idx)
+		theirs = append(theirs, hashes[i])
+	}
+	if len(valid) == 0 {
+		return // nothing comparable in the answer
+	}
+	mine := s.treeNodeHashes(s.shards[shardIdx], level, valid, make([]uint64, 0, len(valid)))
+	var diff []uint32
+	for i, idx := range valid {
+		if mine[i] != theirs[i] {
 			diff = append(diff, idx)
 		}
 	}

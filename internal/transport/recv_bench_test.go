@@ -76,7 +76,7 @@ func deliverEager(s *Store, from string, msg protocol.Msg) {
 	case *protocol.DigestMsg:
 		// The pre-refactor serveWants allocated its dedup scratch fresh
 		// per request; the baseline keeps doing so.
-		s.serveWants(from, m.Want, b, make([]bool, len(s.shards)))
+		s.serveWants(from, m.Want, make([]bool, len(s.shards)))
 		reply = eagerCompareDigests(s, m.Digests)
 	default:
 		return

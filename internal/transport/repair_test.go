@@ -327,7 +327,7 @@ func TestServeWantsHostileNoAllocs(t *testing.T) {
 	d := getDeliverState()
 	defer d.release()
 	allocs := testing.AllocsPerRun(100, func() {
-		s.serveWants("peer", want, d.b, d.seenShards(len(s.shards)))
+		s.serveWants("peer", want, d.seenShards(len(s.shards)))
 	})
 	if allocs != 0 {
 		t.Errorf("serveWants allocated %.1f times per hostile request, want 0", allocs)
@@ -496,5 +496,41 @@ func TestHandleTreeHostileInputs(t *testing.T) {
 	s.handleTree("peer", protocol.NewTreeMsg(0, 1, nil, nil, nil, wantAll, cost), d.b)
 	if got := s.Stats().RepairRanges; got != protocol.TreeFanout {
 		t.Errorf("duplicated Want served %d ranges, want %d", got, protocol.TreeFanout)
+	}
+}
+
+// TestContinueDrillHostileAnswer is the regression test for the
+// out-of-range answer panic: continueDrill used to hand a hand-built
+// answer's node indices to treeNodeHashes before validating them, and
+// an index past the level's node count sliced past the leaf vector and
+// panicked the store. The hostile answer must land on an armed repair
+// (a fresh one is ignored before it ever reaches the hashing), be
+// dropped harmlessly, and a mixed answer must still drill on its valid
+// indices alone.
+func TestContinueDrillHostileAnswer(t *testing.T) {
+	s := startSoloStore(t, 1)
+	for i := 0; i < 20; i++ {
+		s.Update(workload.Add(fmt.Sprintf("k%d", i), "v"))
+	}
+	d := getDeliverState()
+	defer d.release()
+	// Arm an in-flight repair toward the hostile peer so the answer
+	// passes the freshness gate — the state a real drill is in when an
+	// answer arrives.
+	if _, ok := s.repair.tryStart(0, "peer", time.Now()); !ok {
+		t.Fatal("tryStart refused a fresh repair slot")
+	}
+	cost := protocol.TreeCost(nil, nil, nil, nil)
+	maxNode := uint32(protocol.TreeNodesAt(1))
+	// Every index out of range for level 1: pre-fix this panicked.
+	s.handleTree("peer", protocol.NewTreeMsg(0, 1, nil,
+		[]uint32{maxNode, 1 << 30}, []uint64{0, 0}, nil, cost), d.b)
+	// The unusable answer must not have cleared the repair: a mixed
+	// answer on the same slot still drills into its one valid index.
+	rounds := s.Stats().TreeRounds
+	s.handleTree("peer", protocol.NewTreeMsg(0, 1, nil,
+		[]uint32{3, maxNode}, []uint64{0xdeadbeef, 0}, nil, cost), d.b)
+	if got := s.Stats().TreeRounds; got != rounds+1 {
+		t.Errorf("mixed answer drilled %d new rounds, want 1 (valid index alone)", got-rounds)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"net"
+	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -97,6 +98,21 @@ type StoreConfig struct {
 	// is pulled whole, as before. A measurement knob (the repair
 	// benchmark compares the two), not a production setting.
 	NoTreeRepair bool
+	// SnapshotDir, when set, enables crash-restart durability: a
+	// background snapshotter periodically serializes each shard's objects
+	// through the canonical codec to an atomic-rename file per shard in
+	// this directory, and StartStore restores from those files before
+	// joining the mesh. A restored replica is as stale as its last
+	// snapshot; ordinary digest anti-entropy repairs the gap, so recovery
+	// cost is proportional to staleness, not keyspace size. Empty
+	// disables snapshots entirely (the prior, memory-only behavior).
+	SnapshotDir string
+	// SnapshotEvery is the snapshot period (default 10s when SnapshotDir
+	// is set). Each pass serializes one shard at a time under its lock,
+	// skipping shards whose content digest has not moved since their
+	// last snapshot, so a quiescent store's pass costs a few atomic
+	// loads and no I/O.
+	SnapshotEvery time.Duration
 }
 
 // StoreStats counts what a store has put on the wire.
@@ -158,6 +174,22 @@ type StoreStats struct {
 	// applies here, and digest vectors of mismatched length are likewise
 	// incomparable, so anti-entropy cannot repair it either.
 	DroppedItems int
+	// SnapshotsWritten counts shard snapshot files written (shards whose
+	// digest had not moved since their last snapshot are skipped and not
+	// counted).
+	SnapshotsWritten int
+	// SnapshotBytes totals the encoded size of the snapshot files
+	// written.
+	SnapshotBytes int
+	// SnapshotRestoredKeys counts objects restored from snapshot files
+	// at startup.
+	SnapshotRestoredKeys int
+	// SnapshotRestoreErrors counts snapshot files skipped at startup
+	// because they were unreadable or failed validation (bad checksum,
+	// truncation). Each such file contributes nothing — the store falls
+	// back to whatever the remaining files and anti-entropy provide —
+	// and the store never fails to start over a damaged snapshot.
+	SnapshotRestoreErrors int
 	// WatchDropped counts change notifications dropped because a
 	// watcher's pending buffer was full — a consumer reading its Events
 	// channel too slowly. The watcher itself learns the same fact from
@@ -194,6 +226,10 @@ func (s *StoreStats) Add(o StoreStats) {
 	s.RepairBytes += o.RepairBytes
 	s.DigestShardMismatch += o.DigestShardMismatch
 	s.DroppedItems += o.DroppedItems
+	s.SnapshotsWritten += o.SnapshotsWritten
+	s.SnapshotBytes += o.SnapshotBytes
+	s.SnapshotRestoredKeys += o.SnapshotRestoredKeys
+	s.SnapshotRestoreErrors += o.SnapshotRestoreErrors
 	s.WatchDropped += o.WatchDropped
 	s.Sent.Add(o.Sent)
 	for id, ps := range o.Peers {
@@ -280,11 +316,17 @@ type Store struct {
 	statsMu      sync.Mutex
 	stats        StoreStats
 	repair       repairTable
-	stopping     chan struct{}
-	stopOnce     sync.Once
-	wg           sync.WaitGroup // syncLoop + watcher pumps
-	watchMu      sync.RWMutex
-	watchers     []*Watcher
+	// snapMu serializes snapshot passes (the ticker loop and explicit
+	// SnapshotNow calls); snapLast holds each shard's content digest at
+	// its last written snapshot, so unchanged shards are skipped. Both
+	// are only used when cfg.SnapshotDir is set.
+	snapMu   sync.Mutex
+	snapLast []uint64
+	stopping chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup // syncLoop + watcher pumps
+	watchMu  sync.RWMutex
+	watchers []*Watcher
 	// watcherCount mirrors len(watchers) for the lock-free hasWatchers
 	// check on the delivery and update hot paths; written under watchMu.
 	watcherCount atomic.Int32
@@ -320,6 +362,9 @@ func StartStore(cfg StoreConfig) (*Store, error) {
 	}
 	if cfg.TreeRepairMinKeys <= 0 {
 		cfg.TreeRepairMinKeys = defaultTreeMinKeys
+	}
+	if cfg.SnapshotDir != "" && cfg.SnapshotEvery <= 0 {
+		cfg.SnapshotEvery = defaultSnapshotEvery
 	}
 	neighbors := make([]string, 0, len(cfg.Peers))
 	for id := range cfg.Peers {
@@ -357,6 +402,12 @@ func StartStore(cfg StoreConfig) (*Store, error) {
 			return nil, fmt.Errorf("transport: listen %s: %w", cfg.ListenAddr, err)
 		}
 	}
+	if cfg.SnapshotDir != "" {
+		if err := os.MkdirAll(cfg.SnapshotDir, 0o755); err != nil {
+			ln.Close()
+			return nil, fmt.Errorf("transport: snapshot dir: %w", err)
+		}
+	}
 	s := &Store{
 		cfg: cfg,
 		net: newPeerNet(cfg.ID, cfg.Peers, ln, cfg.Dial, queueConfig{
@@ -376,9 +427,20 @@ func StartStore(cfg StoreConfig) (*Store, error) {
 		timeout: cfg.RepairTimeout,
 		entries: make([]repairEntry, cfg.Shards),
 	}
+	if cfg.SnapshotDir != "" {
+		// Restore strictly before joining the mesh: the first digest
+		// advertisement must describe the restored keyspace, so peers
+		// repair only the staleness gap, not the whole keyspace.
+		s.snapLast = make([]uint64, cfg.Shards)
+		s.restoreSnapshots()
+	}
 	s.net.start(s.deliver)
 	s.wg.Add(1)
 	go s.syncLoop()
+	if cfg.SnapshotDir != "" {
+		s.wg.Add(1)
+		go s.snapshotLoop()
+	}
 	return s, nil
 }
 
@@ -466,6 +528,16 @@ func (s *Store) shardDigest(sh *shard) uint64 {
 	}
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	return sh.digestLocked()
+}
+
+// digestLocked computes (and caches) the shard's content digest under an
+// already-held sh.mu — the snapshotter uses it directly so the digest it
+// records and the contents it serializes come from one lock hold.
+func (sh *shard) digestLocked() uint64 {
+	if sh.digestOK.Load() {
+		return sh.digest.Load()
+	}
 	h := fnv.New64a()
 	for _, k := range sh.engine.Keys() {
 		h.Write([]byte(k))
@@ -815,10 +887,10 @@ func (s *Store) deliverSharded(from string, v *codec.FrameView) error {
 	d := getDeliverState()
 	defer d.release()
 	watched := s.hasWatchers()
+	var derr error
 	for _, g := range v.Groups() {
 		sh := s.shards[g.Shard]
 		d.sink.shard = g.Shard
-		var derr error
 		sh.mu.Lock()
 		s.deliverLocks.Add(1)
 		for i := range g.Items {
@@ -849,7 +921,7 @@ func (s *Store) deliverSharded(from string, v *codec.FrameView) error {
 		// ordinary deltas; the next heartbeat then re-evaluates).
 		s.repair.clearFrom(int(g.Shard), from)
 		if derr != nil {
-			return derr
+			break
 		}
 		if watched {
 			s.notifyGroup(g)
@@ -860,14 +932,20 @@ func (s *Store) deliverSharded(from string, v *codec.FrameView) error {
 		s.stats.DroppedItems += v.Dropped
 		s.statsMu.Unlock()
 	}
-	// A piggybacked digest vector is an advertisement like any other,
-	// compared after the frame's own items have been merged (they are
-	// part of the state the digests describe).
-	s.handleDigests(from, v.Digests)
+	if derr == nil {
+		// A piggybacked digest vector is an advertisement like any other,
+		// compared after the frame's own items have been merged (they are
+		// part of the state the digests describe). A frame that failed
+		// mid-decode gets no such trust: its digests are skipped.
+		s.handleDigests(from, v.Digests)
+	}
+	// Flush even on error: the replies coalesced here belong to shard
+	// groups that were fully applied — dropping them would discard real
+	// acks and pull replies the peers are owed.
 	if len(d.b.order) > 0 {
 		s.flush(d.b, nil)
 	}
-	return nil
+	return derr
 }
 
 // notifyGroup offers the keys one shard group's items touched to the
@@ -899,7 +977,7 @@ func (s *Store) deliverControl(from string, frame []byte) error {
 	defer d.release()
 	switch m := msg.(type) {
 	case *protocol.DigestMsg:
-		s.serveWants(from, m.Want, d.b, d.seenShards(len(s.shards)))
+		s.serveWants(from, m.Want, d.seenShards(len(s.shards)))
 		s.handleDigests(from, m.Digests)
 	case *protocol.TreeMsg:
 		s.handleTree(from, m, d.b)
@@ -912,12 +990,12 @@ func (s *Store) deliverControl(from string, frame []byte) error {
 	return nil
 }
 
-// serveWants answers a peer's shard requests into b: each validly
-// requested shard is shipped once, in full. seen is the caller's pooled
-// dedup scratch, sized by the shard count and never by the
-// attacker-controlled request length: a hostile Want list of millions
-// of duplicate indices must not amplify into allocation or work.
-func (s *Store) serveWants(from string, want []uint32, b *outBatch, seen []bool) {
+// serveWants answers a peer's shard requests: each validly requested
+// shard is streamed once, in full. seen is the caller's pooled dedup
+// scratch, sized by the shard count and never by the attacker-controlled
+// request length: a hostile Want list of millions of duplicate indices
+// must not amplify into allocation or work.
+func (s *Store) serveWants(from string, want []uint32, seen []bool) {
 	served := 0
 	bytes := 0
 	for _, idx := range want {
@@ -925,8 +1003,7 @@ func (s *Store) serveWants(from string, want []uint32, b *outBatch, seen []bool)
 			continue // hostile or stale request; serve each shard once
 		}
 		seen[idx] = true
-		if batch, n, ok := s.fullShardBatch(idx); ok {
-			b.sender(idx)(from, batch)
+		if n, ok := s.serveShard(from, idx); ok {
 			served++
 			bytes += n
 		}
@@ -939,35 +1016,72 @@ func (s *Store) serveWants(from string, want []uint32, b *outBatch, seen []bool)
 	}
 }
 
-// fullShardBatch builds one shard's full contents as a BatchMsg of
-// per-key δ-groups carrying whole object states, plus their key+state
-// payload size. A full state is a valid δ-group, so the receiver merges
-// it through the ordinary per-object delivery path (RR extracts exactly
-// the missing part) and propagates anything new onwards. States are
-// cloned under the shard lock: the message outlives it.
-func (s *Store) fullShardBatch(idx uint32) (protocol.Msg, int, bool) {
+// repairChunkBytes caps the key+state payload cloned and shipped per
+// chunk when serving a full-shard pull. A wide-divergence repair on a
+// large shard — restoring a peer from a stale snapshot is exactly this
+// workload — used to materialize the entire shard as one monolithic
+// batch and lean on the packer to split it; chunking bounds the clone
+// held in memory and the shard-lock hold time to one chunk at a time.
+const repairChunkBytes = 1 << 20
+
+// serveShard streams one shard's full contents to a peer as a sequence
+// of bounded BatchMsgs of per-key δ-groups carrying whole object states.
+// A full state is a valid δ-group, so the receiver merges each chunk
+// through the ordinary per-object delivery path (RR extracts exactly the
+// missing part) and propagates anything new onwards. The key list is
+// copied once up front; the shard lock is released between chunks (the
+// keyspace is grow-only, and a state mutated meanwhile ships its newer
+// value — anti-entropy never needs a point-in-time cut). Returns the
+// key+state payload bytes shipped and whether anything was.
+func (s *Store) serveShard(to string, idx uint32) (int, bool) {
 	sh := s.shards[idx]
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	keys := sh.engine.Keys()
+	keys := append([]string(nil), sh.engine.Keys()...)
+	sh.mu.Unlock()
 	if len(keys) == 0 {
-		return nil, 0, false
+		return 0, false
 	}
-	items := make([]protocol.ObjectMsg, 0, len(keys))
-	bytes := 0
-	for _, k := range keys {
-		st := sh.engine.ObjectState(k).Clone()
-		bytes += len(k) + st.SizeBytes()
-		items = append(items, protocol.ObjectMsg{
-			Key: k,
-			Inner: protocol.NewDeltaMsg(st, metrics.Transmission{
-				Messages:     1,
-				Elements:     st.Elements(),
-				PayloadBytes: st.SizeBytes(),
-			}),
-		})
+	budget := min(s.maxMsgBytes()/2, repairChunkBytes)
+	total := 0
+	for i := 0; i < len(keys); {
+		var items []protocol.ObjectMsg
+		bytes := 0
+		sh.mu.Lock()
+		for i < len(keys) {
+			st := sh.engine.ObjectState(keys[i])
+			if st == nil {
+				i++ // unreachable today (grow-only keyspace); skip defensively
+				continue
+			}
+			sz := len(keys[i]) + st.SizeBytes()
+			if len(items) > 0 && bytes+sz > budget {
+				break // chunk full; an oversized single object still ships alone
+			}
+			st = st.Clone() // the message outlives the lock
+			bytes += sz
+			items = append(items, protocol.ObjectMsg{
+				Key: keys[i],
+				Inner: protocol.NewDeltaMsg(st, metrics.Transmission{
+					Messages:     1,
+					Elements:     st.Elements(),
+					PayloadBytes: st.SizeBytes(),
+				}),
+			})
+			i++
+		}
+		sh.mu.Unlock()
+		if len(items) == 0 {
+			continue
+		}
+		// Flush each chunk immediately on its own batch — accumulating
+		// chunks in one outBatch would defeat the point of chunking.
+		// flush must not run under the shard lock.
+		b := newOutBatch()
+		b.sender(idx)(to, protocol.BatchOf(items))
+		s.flush(b, nil)
+		total += bytes
 	}
-	return protocol.BatchOf(items), bytes, true
+	return total, total > 0
 }
 
 func (s *Store) syncLoop() {

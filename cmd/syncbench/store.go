@@ -53,6 +53,9 @@ type storeBenchConfig struct {
 	Scan bool
 	// Seed seeds the fault injector's frame-fate sequence.
 	Seed int64
+	// SyncWorkers sets each replica's shard-work pool width (0 = the
+	// transport default, GOMAXPROCS; 1 = serial ticks).
+	SyncWorkers int
 }
 
 // runStoreBench drives the benchmark and prints a throughput /
@@ -78,6 +81,7 @@ func runStoreBench(cfg storeBenchConfig) {
 		crdtsync.WithSyncEvery(cfg.SyncEvery),
 		crdtsync.WithDigestEvery(cfg.DigestEvery),
 		crdtsync.WithQueueBudget(cfg.PeerQueueLen, cfg.PeerQueueBytes),
+		crdtsync.WithSyncWorkers(cfg.SyncWorkers),
 	}
 	if cfg.NoPiggyback {
 		opts = append(opts, crdtsync.WithoutDigestPiggyback())
@@ -187,6 +191,14 @@ func runStoreBench(cfg storeBenchConfig) {
 	}
 	fmt.Printf("pipeline: %d frames enqueued (%s), %d dropped (%s; queue overflow / failed sends), %d coalesced on drain, %d reconnects\n",
 		enq, fmtBytes(enqBytes), dropped, fmtBytes(droppedBytes), coalesced, reconnects)
+	if total.SyncWorkers > 1 {
+		busy := make([]time.Duration, len(total.SyncWorkerBusyNs))
+		for i, ns := range total.SyncWorkerBusyNs {
+			busy[i] = time.Duration(ns).Round(time.Millisecond)
+		}
+		fmt.Printf("pool: %d sync workers/node; cluster-wide shard claims per worker %v, busy %v\n",
+			total.SyncWorkers, total.SyncWorkerShards, busy)
+	}
 	var mem crdtsync.Memory
 	for _, st := range stores {
 		m := st.Memory()

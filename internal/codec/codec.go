@@ -48,6 +48,15 @@ func Encode(s lattice.State) []byte {
 	return appendState(nil, s)
 }
 
+// AppendState is Encode with a caller-owned scratch buffer: it appends
+// the state's serialization to b and returns the extended slice. Hot
+// paths that encode many states transiently (content digests, Merkle
+// leaf hashes) reuse one buffer across keys instead of allocating per
+// key. The bytes written are identical to Encode's.
+func AppendState(b []byte, s lattice.State) []byte {
+	return appendState(b, s)
+}
+
 // Decode deserializes one state, returning it and the number of bytes
 // consumed.
 func Decode(data []byte) (lattice.State, int, error) {

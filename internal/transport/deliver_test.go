@@ -180,7 +180,7 @@ func TestPackUnpackRoundTrip(t *testing.T) {
 			}
 		}
 		limit := 256 + rng.Intn(4096)
-		res, err := packFrames(items, digests, limit)
+		res, err := packFrames(items, nil, digests, limit)
 		if err != nil {
 			t.Fatalf("pack: %v", err)
 		}

@@ -1,0 +1,208 @@
+package transport
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"crdtsync/internal/protocol"
+)
+
+// This file is the shard-work pool: the bounded set of workers the
+// CPU-heavy per-shard stages — the sync tick, digest vector recompute,
+// Merkle leaf recompute, and snapshot encoding — fan out across. Shards
+// were designed as independent lock domains precisely so these stages
+// parallelize: nothing crosses shards until frames are packed per
+// destination or files are written, so workers claim shards off a
+// shared cursor, do each shard's work under that shard's own lock, and
+// a single coordinator merges the results in shard order wherever
+// ordering is observable (frame bytes, file writes). One worker means
+// every stage runs inline on the calling goroutine — the pre-pool
+// serial behavior, byte for byte.
+
+// syncWorkersEnv overrides the default pool width when
+// StoreConfig.SyncWorkers is unset — a test-harness knob (CI runs the
+// transport race battery with it >1) that never overrides an explicit
+// configuration.
+const syncWorkersEnv = "CRDTSYNC_SYNC_WORKERS"
+
+// resolveSyncWorkers turns the configured worker count into the
+// effective one: explicit config wins, then the env knob, then
+// GOMAXPROCS.
+func resolveSyncWorkers(configured int) int {
+	if configured > 0 {
+		return configured
+	}
+	if v := os.Getenv(syncWorkersEnv); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runWorkers runs fn(worker) on up to n of the store's workers
+// concurrently, the calling goroutine serving as worker 0 — so a
+// one-worker store spawns no goroutines and a stage never costs more
+// than its serial form plus two clock reads. Each worker's busy time
+// accumulates into the per-worker stats, where skew between workers is
+// visible.
+func (s *Store) runWorkers(n int, fn func(worker int)) {
+	if n > s.workers {
+		n = s.workers
+	}
+	if n <= 1 {
+		start := time.Now()
+		fn(0)
+		s.workerBusy[0].Add(int64(time.Since(start)))
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(n - 1)
+	for w := 1; w < n; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			start := time.Now()
+			fn(worker)
+			s.workerBusy[worker].Add(int64(time.Since(start)))
+		}(w)
+	}
+	start := time.Now()
+	fn(0)
+	s.workerBusy[0].Add(int64(time.Since(start)))
+	wg.Wait()
+}
+
+// runShardStage fans fn(worker, shard) over the whole shard index space:
+// workers claim indices off a shared atomic cursor, so load balances
+// dynamically — a worker stuck on one huge shard never strands the
+// shards behind it. Per-worker claim counts feed the skew stats.
+func (s *Store) runShardStage(fn func(worker, shard int)) {
+	n := len(s.shards)
+	var cursor atomic.Int64
+	s.runWorkers(n, func(worker int) {
+		claimed := uint64(0)
+		for {
+			i := int(cursor.Add(1)) - 1
+			if i >= n {
+				break
+			}
+			fn(worker, i)
+			claimed++
+		}
+		if claimed > 0 {
+			s.workerShards[worker].Add(claimed)
+		}
+	})
+}
+
+// tickEmit is one engine emission captured during a parallel tick,
+// replayed in ascending shard order by the merge so per-destination
+// item sequences — and therefore packed frame bytes — stay identical
+// to a serial tick's. enc is the emission's ShardItem encoding,
+// produced by the capturing worker (pointing into its shard's arena in
+// tickScratch.bufs) so the packer ships it verbatim instead of
+// re-encoding on the coordinator; nil means the packer encodes.
+type tickEmit struct {
+	to  string
+	m   protocol.Msg
+	enc []byte
+}
+
+// tickScratch is the pooled per-tick capture: one emission slice and
+// one encode arena per shard, filled without locks by whichever worker
+// claims the shard (indices are disjoint), drained by the merge. The
+// scratch stays checked out until flush has packed the pre-encoded
+// bytes into frames (releaseTickScratch), and release clears every
+// entry so pooled scratch never pins message memory between ticks.
+type tickScratch struct {
+	emits [][]tickEmit
+	bufs  [][]byte
+}
+
+// releaseTickScratch clears a tick capture and returns it to the pool.
+// Callers must be past flush: tickEmit.enc slices point into bufs, and
+// a recycled scratch overwrites them.
+func (s *Store) releaseTickScratch(ts *tickScratch) {
+	for i := range ts.emits {
+		if len(ts.emits[i]) == 0 {
+			continue
+		}
+		clear(ts.emits[i])
+		ts.emits[i] = ts.emits[i][:0]
+		ts.bufs[i] = ts.bufs[i][:0]
+	}
+	s.tickPool.Put(ts)
+}
+
+// getDigestVec hands out a per-shard digest vector from the store's
+// free list. The free list is a typed channel rather than a sync.Pool
+// so that a Get/Put cycle is allocation-free (boxing a slice in an
+// interface allocates) — the clean-store digest path is pinned at zero
+// allocations.
+func (s *Store) getDigestVec() []uint64 {
+	select {
+	case v := <-s.digestVecs:
+		return v
+	default:
+		return make([]uint64, len(s.shards))
+	}
+}
+
+// putDigestVec returns a vector once nothing can reference it — frame
+// packing copies the digest vector into frame bytes synchronously, so
+// after flush returns the vector is free.
+func (s *Store) putDigestVec(v []uint64) {
+	select {
+	case s.digestVecs <- v:
+	default:
+	}
+}
+
+// getLeafVec hands out a zeroed leaf-hash vector (protocol.TreeLeaves
+// words) for one worker's private XOR accumulation during a parallel
+// leaf recompute.
+func (s *Store) getLeafVec() []uint64 {
+	select {
+	case v := <-s.leafVecs:
+		clear(v)
+		return v
+	default:
+		return make([]uint64, protocol.TreeLeaves)
+	}
+}
+
+func (s *Store) putLeafVec(v []uint64) {
+	select {
+	case s.leafVecs <- v:
+	default:
+	}
+}
+
+// encodeScratch recycles the per-shard state-encode buffers the digest
+// and Merkle-leaf recomputes reuse across keys. A bounded global free
+// list: a burst of concurrent recomputes across many stores can pin at
+// most this many buffers.
+var encodeScratch = make(chan []byte, 16)
+
+func getEncodeBuf() []byte {
+	select {
+	case b := <-encodeScratch:
+		return b
+	default:
+		return nil
+	}
+}
+
+func putEncodeBuf(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	select {
+	case encodeScratch <- b[:0]:
+	default:
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"net"
 	"os"
 	"sort"
@@ -113,6 +112,15 @@ type StoreConfig struct {
 	// last snapshot, so a quiescent store's pass costs a few atomic
 	// loads and no I/O.
 	SnapshotEvery time.Duration
+	// SyncWorkers bounds the shard-work pool: the workers the CPU-heavy
+	// per-shard stages (the sync tick, digest vector recompute, Merkle
+	// leaf recompute, snapshot encoding) fan out across. 1 pins every
+	// stage to the calling goroutine — the pre-pool serial behavior.
+	// 0 (the default) uses the CRDTSYNC_SYNC_WORKERS environment
+	// variable if set, else GOMAXPROCS. Frame contents are byte-identical
+	// at any setting: workers capture per-shard output and the tick
+	// merges it in shard order before packing.
+	SyncWorkers int
 }
 
 // StoreStats counts what a store has put on the wire.
@@ -195,6 +203,17 @@ type StoreStats struct {
 	// channel too slowly. The watcher itself learns the same fact from
 	// the Lagged mark on its next event.
 	WatchDropped int
+	// SyncWorkers is the effective shard-work pool width (resolved from
+	// StoreConfig.SyncWorkers / CRDTSYNC_SYNC_WORKERS / GOMAXPROCS).
+	SyncWorkers int
+	// SyncWorkerShards counts, per pool worker, the shards that worker
+	// claimed across all parallel stages — skew between entries means
+	// shard work is unevenly sized (one hot shard dominating a tick).
+	SyncWorkerShards []uint64
+	// SyncWorkerBusyNs totals, per pool worker, the nanoseconds spent
+	// inside parallel stages. The ratio of max to min entry is the
+	// pool's load imbalance.
+	SyncWorkerBusyNs []int64
 	// Sent is the aggregated protocol-level transmission accounting.
 	Sent metrics.Transmission
 	// Peers holds the per-peer write-pipeline accounting: frames and
@@ -231,6 +250,23 @@ func (s *StoreStats) Add(o StoreStats) {
 	s.SnapshotRestoredKeys += o.SnapshotRestoredKeys
 	s.SnapshotRestoreErrors += o.SnapshotRestoreErrors
 	s.WatchDropped += o.WatchDropped
+	if o.SyncWorkers > s.SyncWorkers {
+		s.SyncWorkers = o.SyncWorkers // pool widths are not additive
+	}
+	for i, v := range o.SyncWorkerShards {
+		if i < len(s.SyncWorkerShards) {
+			s.SyncWorkerShards[i] += v
+		} else {
+			s.SyncWorkerShards = append(s.SyncWorkerShards, v)
+		}
+	}
+	for i, v := range o.SyncWorkerBusyNs {
+		if i < len(s.SyncWorkerBusyNs) {
+			s.SyncWorkerBusyNs[i] += v
+		} else {
+			s.SyncWorkerBusyNs = append(s.SyncWorkerBusyNs, v)
+		}
+	}
 	s.Sent.Add(o.Sent)
 	for id, ps := range o.Peers {
 		if s.Peers == nil {
@@ -322,11 +358,24 @@ type Store struct {
 	// are only used when cfg.SnapshotDir is set.
 	snapMu   sync.Mutex
 	snapLast []uint64
-	stopping chan struct{}
-	stopOnce sync.Once
-	wg       sync.WaitGroup // syncLoop + watcher pumps
-	watchMu  sync.RWMutex
-	watchers []*Watcher
+	// workers is the effective shard-work pool width; workerShards and
+	// workerBusy are its per-worker claim and busy-time counters (skew
+	// diagnostics, surfaced through Stats).
+	workers      int
+	workerShards []atomic.Uint64
+	workerBusy   []atomic.Int64
+	// tickPool recycles the parallel tick's per-shard emission capture;
+	// digestVecs and leafVecs are typed free lists (channels, so a
+	// Get/Put cycle never allocates) for digest vectors and the workers'
+	// private Merkle leaf accumulators.
+	tickPool   sync.Pool
+	digestVecs chan []uint64
+	leafVecs   chan []uint64
+	stopping   chan struct{}
+	stopOnce   sync.Once
+	wg         sync.WaitGroup // syncLoop + watcher pumps
+	watchMu    sync.RWMutex
+	watchers   []*Watcher
 	// watcherCount mirrors len(watchers) for the lock-free hasWatchers
 	// check on the delivery and update hot paths; written under watchMu.
 	watcherCount atomic.Int32
@@ -423,6 +472,17 @@ func StartStore(cfg StoreConfig) (*Store, error) {
 		neighbors: neighbors,
 		stopping:  make(chan struct{}),
 	}
+	s.workers = resolveSyncWorkers(cfg.SyncWorkers)
+	s.workerShards = make([]atomic.Uint64, s.workers)
+	s.workerBusy = make([]atomic.Int64, s.workers)
+	s.tickPool.New = func() any {
+		return &tickScratch{
+			emits: make([][]tickEmit, len(s.shards)),
+			bufs:  make([][]byte, len(s.shards)),
+		}
+	}
+	s.digestVecs = make(chan []uint64, 4)
+	s.leafVecs = make(chan []uint64, s.workers)
 	s.repair = repairTable{
 		timeout: cfg.RepairTimeout,
 		entries: make([]repairEntry, cfg.Shards),
@@ -507,13 +567,26 @@ func (s *Store) NumKeys() int {
 	return total
 }
 
-// Keys returns all object keys, sorted.
+// Keys returns all object keys, sorted. The per-shard walks fan out
+// across the shard-work pool, so a scrape of a huge store does not
+// stall the caller for the full serial lock-by-lock walk.
 func (s *Store) Keys() []string {
-	var all []string
-	for _, sh := range s.shards {
+	perShard := make([][]string, len(s.shards))
+	s.runShardStage(func(_, i int) {
+		sh := s.shards[i]
 		sh.mu.Lock()
-		all = append(all, sh.engine.Keys()...)
+		if ks := sh.engine.Keys(); len(ks) > 0 {
+			perShard[i] = append([]string(nil), ks...)
+		}
 		sh.mu.Unlock()
+	})
+	total := 0
+	for _, ks := range perShard {
+		total += len(ks)
+	}
+	all := make([]string, 0, total)
+	for _, ks := range perShard {
+		all = append(all, ks...)
 	}
 	sort.Strings(all)
 	return all
@@ -533,28 +606,50 @@ func (s *Store) shardDigest(sh *shard) uint64 {
 
 // digestLocked computes (and caches) the shard's content digest under an
 // already-held sh.mu — the snapshotter uses it directly so the digest it
-// records and the contents it serializes come from one lock hold.
+// records and the contents it serializes come from one lock hold. The
+// inline FNV-1a fold produces the exact values hash/fnv did, without its
+// per-call hasher allocation, and the encode scratch buffer is reused
+// across keys (and pooled across calls) instead of allocated per key.
 func (sh *shard) digestLocked() uint64 {
 	if sh.digestOK.Load() {
 		return sh.digest.Load()
 	}
-	h := fnv.New64a()
+	h := uint64(fnvOffset64)
+	scratch := getEncodeBuf()
 	for _, k := range sh.engine.Keys() {
-		h.Write([]byte(k))
-		h.Write(codec.Encode(sh.engine.ObjectState(k)))
+		h = fnvFoldString(h, k)
+		scratch = codec.AppendState(scratch[:0], sh.engine.ObjectState(k))
+		h = fnvFold(h, scratch)
 	}
-	d := h.Sum64()
-	sh.digest.Store(d)
+	putEncodeBuf(scratch)
+	sh.digest.Store(h)
 	sh.digestOK.Store(true)
-	return d
+	return h
 }
 
-// shardDigests returns the per-shard digest vector.
+// shardDigests returns the per-shard digest vector in a pooled slice;
+// callers hand it back with putDigestVec once no frame can reference it
+// (packing copies the vector into frame bytes synchronously). Clean
+// shards — all of them, on an idle store — are served from the
+// lock-free digest cache inline, allocation-free; the pool only fans
+// out when at least two shards need recomputation.
 func (s *Store) shardDigests() []uint64 {
-	vec := make([]uint64, len(s.shards))
-	for i, sh := range s.shards {
-		vec[i] = s.shardDigest(sh)
+	vec := s.getDigestVec()
+	stale := 0
+	for _, sh := range s.shards {
+		if !sh.digestOK.Load() {
+			stale++
+		}
 	}
+	if stale < 2 || s.workers <= 1 {
+		for i, sh := range s.shards {
+			vec[i] = s.shardDigest(sh)
+		}
+		return vec
+	}
+	s.runShardStage(func(_, i int) {
+		vec[i] = s.shardDigest(s.shards[i])
+	})
 	return vec
 }
 
@@ -565,22 +660,30 @@ func (s *Store) shardDigests() []uint64 {
 // shards serve their digests from cache. (The codec is canonical: equal
 // states encode to equal bytes.)
 func (s *Store) Digest() uint64 {
-	h := fnv.New64a()
+	h := uint64(fnvOffset64)
 	var word [8]byte
 	for _, sh := range s.shards {
 		binary.BigEndian.PutUint64(word[:], s.shardDigest(sh))
-		h.Write(word[:])
+		h = fnvFold(h, word[:])
 	}
-	return h.Sum64()
+	return h
 }
 
-// Memory aggregates the memory footprint across shards.
+// Memory aggregates the memory footprint across shards, fanning the
+// per-shard walks across the shard-work pool.
 func (s *Store) Memory() metrics.Memory {
-	var total metrics.Memory
-	for _, sh := range s.shards {
+	partial := make([]metrics.Memory, s.workers)
+	s.runShardStage(func(w, i int) {
+		sh := s.shards[i]
 		sh.mu.Lock()
 		m := sh.engine.Memory()
 		sh.mu.Unlock()
+		partial[w].CRDTBytes += m.CRDTBytes
+		partial[w].BufferBytes += m.BufferBytes
+		partial[w].MetadataBytes += m.MetadataBytes
+	})
+	var total metrics.Memory
+	for _, m := range partial {
 		total.CRDTBytes += m.CRDTBytes
 		total.BufferBytes += m.BufferBytes
 		total.MetadataBytes += m.MetadataBytes
@@ -595,6 +698,13 @@ func (s *Store) Stats() StoreStats {
 	st := s.stats
 	s.statsMu.Unlock()
 	st.Peers = s.net.peerStats()
+	st.SyncWorkers = s.workers
+	st.SyncWorkerShards = make([]uint64, s.workers)
+	st.SyncWorkerBusyNs = make([]int64, s.workers)
+	for i := range st.SyncWorkerShards {
+		st.SyncWorkerShards[i] = s.workerShards[i].Load()
+		st.SyncWorkerBusyNs[i] = s.workerBusy[i].Load()
+	}
 	return st
 }
 
@@ -602,33 +712,51 @@ func (s *Store) Stats() StoreStats {
 func (s *Store) Ticks() uint64 { return s.ticks.Load() }
 
 // outBatch accumulates per-destination shard items in first-send order.
+// perEnc runs parallel to perDest: entry i is item i's pre-encoded
+// ShardItem bytes when a pool worker encoded it at capture time (the
+// packer ships those verbatim), nil when the packer encodes the item
+// itself — the serial tick and every inbound reply path.
 type outBatch struct {
 	perDest map[string][]protocol.ShardItem
+	perEnc  map[string][][]byte
 	order   []string
 }
 
 func newOutBatch() *outBatch {
-	return &outBatch{perDest: make(map[string][]protocol.ShardItem)}
+	return &outBatch{
+		perDest: make(map[string][]protocol.ShardItem),
+		perEnc:  make(map[string][][]byte),
+	}
+}
+
+// add appends one emission, with its pre-encoded bytes when the capture
+// already paid for the encode (enc nil otherwise).
+func (b *outBatch) add(shardIdx uint32, to string, m protocol.Msg, enc []byte) {
+	if len(b.perDest[to]) == 0 {
+		b.order = append(b.order, to)
+	}
+	b.perDest[to] = append(b.perDest[to], protocol.ShardItem{Shard: shardIdx, Msg: m})
+	b.perEnc[to] = append(b.perEnc[to], enc)
 }
 
 // sender adapts a shard's engine sends into tagged shard items.
 func (b *outBatch) sender(shardIdx uint32) protocol.Sender {
 	return func(to string, m protocol.Msg) {
-		if len(b.perDest[to]) == 0 {
-			b.order = append(b.order, to)
-		}
-		b.perDest[to] = append(b.perDest[to], protocol.ShardItem{Shard: shardIdx, Msg: m})
+		b.add(shardIdx, to, m, nil)
 	}
 }
 
 // reset clears the batch for reuse, keeping the per-destination slice
 // capacity (the items themselves are zeroed so pooled batches do not pin
-// message memory between frames).
+// message or encode-arena memory between frames).
 func (b *outBatch) reset() {
 	for _, to := range b.order {
 		items := b.perDest[to]
 		clear(items)
 		b.perDest[to] = items[:0]
+		encs := b.perEnc[to]
+		clear(encs)
+		b.perEnc[to] = encs[:0]
 	}
 	b.order = b.order[:0]
 }
@@ -712,37 +840,27 @@ func (d *replySink) flush(b *outBatch) {
 // SyncNow runs one synchronization step over the dirty shards and flushes
 // the coalesced frames. Clean shards — the steady state of an idle
 // keyspace — are skipped without taking their locks, so the tick is
-// O(dirty shards). Every DigestEvery ticks the per-shard digest vector
-// goes out with the same flush: piggybacked on a data frame to each peer
-// that is getting one anyway, as a standalone heartbeat only to peers the
-// tick has nothing else to say to (every peer, on an idle tick).
+// O(dirty shards). The per-shard work — engine.Sync plus item capture,
+// and the digest recompute — fans out across the shard-work pool
+// (StoreConfig.SyncWorkers) with frame bytes unchanged. Every
+// DigestEvery ticks the per-shard digest vector goes out with the same
+// flush: piggybacked on a data frame to each peer that is getting one
+// anyway, as a standalone heartbeat only to peers the tick has nothing
+// else to say to (every peer, on an idle tick).
 func (s *Store) SyncNow() {
 	d := getDeliverState()
 	defer d.release()
 	b := d.b
-	for i, sh := range s.shards {
-		if !sh.dirty.Load() {
-			continue
-		}
-		sh.mu.Lock()
-		sh.dirty.Store(false)
-		emitted := false
-		send := b.sender(uint32(i))
-		sh.engine.Sync(func(to string, m protocol.Msg) {
-			emitted = true
-			send(to, m)
-		})
-		if emitted {
-			// The engine may need to emit again (unacked
-			// retransmissions, Scuttlebutt digests): revisit next tick.
-			sh.dirty.Store(true)
-		}
-		sh.mu.Unlock()
+	if ts := s.collectTick(b); ts != nil {
+		// The batch's pre-encoded bytes point into the scratch arenas;
+		// release only after flush below has packed them into frames.
+		defer s.releaseTickScratch(ts)
 	}
 	tick := s.ticks.Add(1)
 	var vec []uint64
 	if every := uint64(s.cfg.DigestEvery); every > 0 && tick%every == 0 {
 		vec = s.shardDigests()
+		defer s.putDigestVec(vec)
 	}
 	piggyback := vec
 	if s.cfg.NoDigestPiggyback {
@@ -766,6 +884,92 @@ func (s *Store) SyncNow() {
 	}
 }
 
+// collectTick runs the per-shard sync stage, accumulating every engine
+// emission on b in ascending shard order. With one worker (or fewer
+// than two dirty shards) it is the plain serial walk; otherwise workers
+// claim dirty shards off the shared cursor, run engine.Sync under each
+// shard's lock capturing emissions privately — encoding each emission
+// into the shard's arena as it is captured, so the per-item codec work
+// rides the pool too — and the merge replays them in shard order. Per-
+// destination item sequences, and therefore packed frame bytes, are
+// identical to a serial tick's (pinned by the determinism test).
+//
+// The returned scratch is non-nil exactly when the parallel path ran;
+// the caller must hand it to releaseTickScratch only after flush has
+// consumed b (the pre-encoded bytes live in the scratch arenas).
+func (s *Store) collectTick(b *outBatch) *tickScratch {
+	dirty := 0
+	for _, sh := range s.shards {
+		if sh.dirty.Load() {
+			dirty++
+		}
+	}
+	if dirty == 0 {
+		return nil
+	}
+	if s.workers <= 1 || dirty < 2 {
+		for i, sh := range s.shards {
+			if !sh.dirty.Load() {
+				continue
+			}
+			sh.mu.Lock()
+			sh.dirty.Store(false)
+			emitted := false
+			send := b.sender(uint32(i))
+			sh.engine.Sync(func(to string, m protocol.Msg) {
+				emitted = true
+				send(to, m)
+			})
+			if emitted {
+				// The engine may need to emit again (unacked
+				// retransmissions, Scuttlebutt digests): revisit next tick.
+				sh.dirty.Store(true)
+			}
+			sh.mu.Unlock()
+		}
+		return nil
+	}
+	ts := s.tickPool.Get().(*tickScratch)
+	s.runShardStage(func(_, i int) {
+		sh := s.shards[i]
+		if !sh.dirty.Load() {
+			return
+		}
+		out := ts.emits[i][:0]
+		buf := ts.bufs[i][:0]
+		sh.mu.Lock()
+		sh.dirty.Store(false)
+		emitted := false
+		sh.engine.Sync(func(to string, m protocol.Msg) {
+			emitted = true
+			start := len(buf)
+			var err error
+			buf, err = codec.AppendShardItem(buf, protocol.ShardItem{Shard: uint32(i), Msg: m})
+			if err != nil {
+				// Unencodable message: capture without bytes so the
+				// packer's own encode surfaces the same error the
+				// serial path would (flush panics on it).
+				buf = buf[:start]
+				out = append(out, tickEmit{to: to, m: m})
+				return
+			}
+			out = append(out, tickEmit{to: to, m: m, enc: buf[start:]})
+		})
+		if emitted {
+			sh.dirty.Store(true) // more to emit next tick (see serial path)
+		}
+		sh.mu.Unlock()
+		ts.emits[i] = out
+		ts.bufs[i] = buf
+	})
+	for i, out := range ts.emits {
+		for _, e := range out {
+			b.add(uint32(i), e.to, e.m, e.enc)
+		}
+	}
+	return ts
+}
+
 // flush packs the accumulated items into bounded frames per destination
 // and transmits them; vec, when non-nil, is piggybacked onto one frame
 // per destination when it fits, and the returned set names the peers it
@@ -774,7 +978,7 @@ func (s *Store) SyncNow() {
 func (s *Store) flush(b *outBatch, vec []uint64) map[string]struct{} {
 	var covered map[string]struct{}
 	for _, to := range b.order {
-		res, err := packFrames(b.perDest[to], vec, s.maxMsgBytes())
+		res, err := packFrames(b.perDest[to], b.perEnc[to], vec, s.maxMsgBytes())
 		if err != nil {
 			// Engines produced an unencodable message: a programming
 			// error in the engine/codec pairing.

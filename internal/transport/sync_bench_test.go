@@ -1,0 +1,98 @@
+package transport
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"crdtsync/internal/protocol"
+	"crdtsync/internal/workload"
+)
+
+// benchTickStore builds the tentpole's pinned workload: a 64-shard
+// store, every shard dirty each iteration, with one unreachable peer so
+// engines emit into a 1-frame write queue (constant-cost eviction, no
+// I/O on the timed path).
+func benchTickStore(b *testing.B, workers int) (*Store, []string) {
+	b.Helper()
+	s, err := StartStore(StoreConfig{
+		ID:           "n0",
+		ListenAddr:   "127.0.0.1:0",
+		Peers:        map[string]string{"sink": "127.0.0.1:1"},
+		Nodes:        []string{"n0", "sink"},
+		Shards:       64,
+		Factory:      protocol.NewDeltaBPRR(),
+		ObjType:      func(string) workload.Datatype { return workload.GSetType{} },
+		SyncEvery:    time.Hour,
+		SyncWorkers:  workers,
+		PeerQueueLen: 1,
+	})
+	if err != nil {
+		b.Fatalf("StartStore: %v", err)
+	}
+	b.Cleanup(func() { s.Close() })
+	keys := make([]string, 64*32)
+	for k := range keys {
+		keys[k] = fmt.Sprintf("key-%05d", k)
+	}
+	return s, keys
+}
+
+// BenchmarkSyncTick measures one all-dirty 64-shard sync tick — the
+// dirty scan, engine.Sync per shard, item encoding, frame packing and
+// enqueue — serial versus fanned across the shard-work pool. Run with
+// -cpu 1,2,4,8 for the scaling curve; "pool" sizes itself from
+// GOMAXPROCS, so at -cpu 1 the two sub-benchmarks coincide (the pool
+// runs inline on the caller).
+func BenchmarkSyncTick(b *testing.B) {
+	run := func(workers func() int) func(*testing.B) {
+		return func(b *testing.B) {
+			s, keys := benchTickStore(b, workers())
+			for _, k := range keys {
+				s.Update(workload.Add(k, "e0"))
+			}
+			s.SyncNow() // drain the initial state; steady-state deltas follow
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				elem := fmt.Sprintf("e%d", i+1)
+				for _, k := range keys {
+					s.Update(workload.Add(k, elem))
+				}
+				b.StartTimer()
+				s.SyncNow()
+			}
+		}
+	}
+	b.Run("serial", run(func() int { return 1 }))
+	b.Run("pool", run(func() int { return runtime.GOMAXPROCS(0) }))
+}
+
+// BenchmarkDigestVector measures a full 64-shard digest vector
+// recompute (every cached digest invalidated each iteration), serial
+// versus pooled. Run with -cpu 1,2,4,8.
+func BenchmarkDigestVector(b *testing.B) {
+	run := func(workers func() int) func(*testing.B) {
+		return func(b *testing.B) {
+			s, keys := benchTickStore(b, workers())
+			for _, k := range keys {
+				s.Update(workload.Add(k, "e0"))
+			}
+			s.putDigestVec(s.shardDigests()) // warm caches and free list
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				for _, sh := range s.shards {
+					sh.digestOK.Store(false)
+				}
+				b.StartTimer()
+				s.putDigestVec(s.shardDigests())
+			}
+		}
+	}
+	b.Run("serial", run(func() int { return 1 }))
+	b.Run("pool", run(func() int { return runtime.GOMAXPROCS(0) }))
+}
